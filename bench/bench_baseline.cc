@@ -1,0 +1,81 @@
+// Baseline experiment (paper Section 5.1): one class of hash joins on a
+// memory-bottlenecked configuration (10 disks, 40 MIPS, M = 2560 pages).
+//
+// Regenerates:
+//   Figure 3 — miss ratio vs arrival rate (Max, MinMax, Proportional, PMM)
+//   Figure 4 — average disk utilization vs arrival rate
+//   Figure 5 — observed average MPL vs arrival rate
+//   Figure 7 — memory fluctuations per query vs arrival rate
+//   Table 7  — average waiting / execution / response times
+//
+// CSV series land in results/baseline_*.csv.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace rtq;
+  using namespace rtq::bench;
+
+  Banner("E1-E4, E6: baseline experiment",
+         "Figures 3, 4, 5, 7 and Table 7 (Section 5.1)");
+
+  const std::vector<double> rates = {0.04, 0.05, 0.06, 0.07, 0.08};
+  auto policies = harness::BaselinePolicies();
+
+  harness::TablePrinter fig3({"lambda", "Max", "MinMax", "Proportional",
+                              "PMM"});
+  harness::TablePrinter fig4 = fig3;
+  harness::TablePrinter fig5 = fig3;
+  harness::TablePrinter fig7 = fig3;
+  harness::TablePrinter table7({"lambda", "policy", "wait(s)", "exec(s)",
+                                "total(s)", "miss", "ci90 +/-"});
+  harness::CsvWriter csv({"arrival_rate", "policy", "miss_ratio",
+                          "avg_disk_util", "avg_mpl", "avg_wait",
+                          "avg_exec", "avg_response", "fluctuations",
+                          "miss_ci_halfwidth"});
+
+  for (double rate : rates) {
+    std::vector<std::string> r3{F(rate, 3)}, r4{F(rate, 3)},
+        r5{F(rate, 3)}, r7{F(rate, 3)};
+    for (const auto& policy : policies) {
+      engine::SystemSummary s =
+          harness::RunOnce(harness::BaselineConfig(rate, policy));
+      r3.push_back(Pct(s.overall.miss_ratio));
+      r4.push_back(Pct(s.avg_disk_utilization));
+      r5.push_back(F(s.avg_mpl, 2));
+      r7.push_back(F(s.overall.avg_fluctuations, 2));
+      table7.AddRow({F(rate, 3), harness::PolicyLabel(policy),
+                     F(s.overall.avg_wait, 1), F(s.overall.avg_exec, 1),
+                     F(s.overall.avg_response, 1),
+                     Pct(s.overall.miss_ratio),
+                     Pct(s.miss_ratio_ci.half_width)});
+      csv.AddRow({F(rate, 3), harness::PolicyLabel(policy),
+                  F(s.overall.miss_ratio, 4), F(s.avg_disk_utilization, 4),
+                  F(s.avg_mpl, 3), F(s.overall.avg_wait, 2),
+                  F(s.overall.avg_exec, 2), F(s.overall.avg_response, 2),
+                  F(s.overall.avg_fluctuations, 3),
+                  F(s.miss_ratio_ci.half_width, 4)});
+      std::fflush(stdout);
+    }
+    fig3.AddRow(r3);
+    fig4.AddRow(r4);
+    fig5.AddRow(r5);
+    fig7.AddRow(r7);
+  }
+
+  std::printf("Figure 3: miss ratio vs arrival rate\n");
+  fig3.Print();
+  std::printf("\nFigure 4: average disk utilization\n");
+  fig4.Print();
+  std::printf("\nFigure 5: observed average MPL\n");
+  fig5.Print();
+  std::printf("\nFigure 7: memory fluctuations per query\n");
+  fig7.Print();
+  std::printf("\nTable 7: average timings\n");
+  table7.Print();
+
+  Status st = csv.WriteFile("results/baseline.csv");
+  if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  std::printf("\nseries written to results/baseline.csv\n");
+  return 0;
+}

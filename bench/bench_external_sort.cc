@@ -1,0 +1,43 @@
+// External-sort workload (paper Section 5.5): the baseline resources with
+// a single class of external sorts (||R|| in [600, 1800] pages). Memory
+// is even more critical than in the join baseline — each sort demands its
+// whole relation but puts a light load on CPU and disks — so Max degrades
+// harder and the liberal policies shine.
+//
+// Regenerates Figure 16.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace rtq;
+  using namespace rtq::bench;
+
+  Banner("E14: external-sort workload", "Figure 16 (Section 5.5)");
+
+  const std::vector<double> rates = {0.04, 0.06, 0.08, 0.10, 0.12};
+  auto policies = harness::BaselinePolicies();
+
+  harness::TablePrinter fig16({"lambda", "Max", "MinMax", "Proportional",
+                               "PMM"});
+  harness::CsvWriter csv({"arrival_rate", "policy", "miss_ratio",
+                          "avg_mpl", "avg_disk_util"});
+
+  for (double rate : rates) {
+    std::vector<std::string> row{F(rate, 3)};
+    for (const auto& policy : policies) {
+      engine::SystemSummary s =
+          harness::RunOnce(harness::ExternalSortConfig(rate, policy));
+      row.push_back(Pct(s.overall.miss_ratio));
+      csv.AddRow({F(rate, 3), harness::PolicyLabel(policy),
+                  F(s.overall.miss_ratio, 4), F(s.avg_mpl, 3),
+                  F(s.avg_disk_utilization, 4)});
+      std::fflush(stdout);
+    }
+    fig16.AddRow(row);
+  }
+  std::printf("Figure 16: miss ratio, external sorts\n");
+  fig16.Print();
+  csv.WriteFile("results/external_sort.csv");
+  std::printf("\nseries written to results/external_sort.csv\n");
+  return 0;
+}

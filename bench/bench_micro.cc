@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark) of the hot substrates: the event
+// calendar, the least-squares fits PMM recomputes every batch, the
+// allocation strategies, and the LRU page cache.
+
+#include <benchmark/benchmark.h>
+
+#include "buffer/lru_cache.h"
+#include "common/rng.h"
+#include "core/strategy.h"
+#include "sim/event_queue.h"
+#include "stats/quadratic_fit.h"
+
+namespace {
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  rtq::Rng rng(1);
+  for (auto _ : state) {
+    rtq::sim::EventQueue q;
+    for (int i = 0; i < state.range(0); ++i) {
+      q.Schedule(rng.NextDouble(), [] {});
+    }
+    while (!q.Empty()) benchmark::DoNotOptimize(q.Pop().first);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  rtq::Rng rng(2);
+  for (auto _ : state) {
+    rtq::sim::EventQueue q;
+    std::vector<rtq::sim::EventId> ids;
+    for (int i = 0; i < state.range(0); ++i) {
+      ids.push_back(q.Schedule(rng.NextDouble(), [] {}));
+    }
+    for (size_t i = 0; i < ids.size(); i += 2) q.Cancel(ids[i]);
+    while (!q.Empty()) benchmark::DoNotOptimize(q.Pop().first);
+  }
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(4096);
+
+void BM_QuadraticFit(benchmark::State& state) {
+  rtq::Rng rng(3);
+  std::vector<std::pair<double, double>> points;
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.Uniform(1.0, 30.0);
+    points.emplace_back(x, 0.01 * x * x - 0.2 * x + 2.0);
+  }
+  for (auto _ : state) {
+    rtq::stats::QuadraticFit fit;
+    for (auto [x, y] : points) fit.Add(x, y);
+    benchmark::DoNotOptimize(fit.Fit());
+    benchmark::DoNotOptimize(fit.Classify());
+  }
+}
+BENCHMARK(BM_QuadraticFit);
+
+void BM_MinMaxAllocate(benchmark::State& state) {
+  rtq::Rng rng(4);
+  std::vector<rtq::core::MemRequest> queries;
+  for (int i = 0; i < state.range(0); ++i) {
+    rtq::core::MemRequest q;
+    q.id = static_cast<rtq::QueryId>(i);
+    q.deadline = rng.Uniform(0.0, 1000.0);
+    q.min_memory = 38;
+    q.max_memory = rng.UniformInt(600, 2000);
+    queries.push_back(q);
+  }
+  std::sort(queries.begin(), queries.end(),
+            [](const auto& a, const auto& b) {
+              return a.deadline < b.deadline;
+            });
+  rtq::core::MinMaxStrategy strategy(-1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy.Allocate(queries, 2560));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MinMaxAllocate)->Arg(16)->Arg(128);
+
+void BM_ProportionalAllocate(benchmark::State& state) {
+  rtq::Rng rng(5);
+  std::vector<rtq::core::MemRequest> queries;
+  for (int i = 0; i < 64; ++i) {
+    rtq::core::MemRequest q;
+    q.id = static_cast<rtq::QueryId>(i);
+    q.deadline = rng.Uniform(0.0, 1000.0);
+    q.min_memory = 38;
+    q.max_memory = rng.UniformInt(600, 2000);
+    queries.push_back(q);
+  }
+  rtq::core::ProportionalStrategy strategy(-1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy.Allocate(queries, 2560));
+  }
+}
+BENCHMARK(BM_ProportionalAllocate);
+
+void BM_LruCacheChurn(benchmark::State& state) {
+  rtq::Rng rng(6);
+  rtq::buffer::LruCache cache(1024);
+  for (auto _ : state) {
+    uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, 4095));
+    if (!cache.Lookup(key)) cache.Insert(key);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruCacheChurn);
+
+}  // namespace

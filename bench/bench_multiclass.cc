@@ -1,0 +1,61 @@
+// Multiclass workload (paper Section 5.6): Medium joins at a fixed 0.065
+// q/s plus Small joins whose rate sweeps from 0 to 1.2 q/s, on 12 disks.
+//
+// Regenerates Figure 17 (system miss ratio: Max, MinMax, PMM) and
+// Figure 18 (PMM's per-class miss ratios — the bias the paper observes:
+// as the Small class dominates, PMM drifts toward Max mode and the
+// Medium class suffers disproportionately).
+
+#include "bench_util.h"
+
+int main() {
+  using namespace rtq;
+  using namespace rtq::bench;
+
+  Banner("E15-E16: multiclass workload (12 disks)",
+         "Figures 17, 18 (Section 5.6)");
+
+  const std::vector<double> small_rates = {0.0, 0.2, 0.4, 0.6, 0.8,
+                                           1.0, 1.2};
+  std::vector<engine::PolicyConfig> policies(3);
+  policies[0].kind = engine::PolicyKind::kMax;
+  policies[1].kind = engine::PolicyKind::kMinMax;
+  policies[2].kind = engine::PolicyKind::kPmm;
+
+  harness::TablePrinter fig17({"small rate", "Max", "MinMax", "PMM"});
+  harness::TablePrinter fig18({"small rate", "PMM Medium", "PMM Small",
+                               "PMM system"});
+  harness::CsvWriter csv({"small_rate", "policy", "system_miss",
+                          "medium_miss", "small_miss"});
+
+  for (double rate : small_rates) {
+    std::vector<std::string> r17{F(rate, 2)};
+    std::vector<std::string> r18{F(rate, 2)};
+    for (size_t p = 0; p < policies.size(); ++p) {
+      engine::SystemSummary s =
+          harness::RunOnce(harness::MulticlassConfig(rate, policies[p]));
+      r17.push_back(Pct(s.overall.miss_ratio));
+      double medium = s.per_class.empty() ? 0.0
+                                          : s.per_class[0].miss_ratio;
+      double small =
+          s.per_class.size() > 1 ? s.per_class[1].miss_ratio : 0.0;
+      csv.AddRow({F(rate, 2), harness::PolicyLabel(policies[p]),
+                  F(s.overall.miss_ratio, 4), F(medium, 4), F(small, 4)});
+      if (policies[p].kind == engine::PolicyKind::kPmm) {
+        r18.push_back(Pct(medium));
+        r18.push_back(rate > 0.0 ? Pct(small) : std::string("-"));
+        r18.push_back(Pct(s.overall.miss_ratio));
+      }
+      std::fflush(stdout);
+    }
+    fig17.AddRow(r17);
+    fig18.AddRow(r18);
+  }
+  std::printf("Figure 17: system miss ratio\n");
+  fig17.Print();
+  std::printf("\nFigure 18: PMM per-class miss ratios\n");
+  fig18.Print();
+  csv.WriteFile("results/multiclass.csv");
+  std::printf("\nseries written to results/multiclass.csv\n");
+  return 0;
+}

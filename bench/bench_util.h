@@ -1,0 +1,38 @@
+// Shared plumbing for the experiment binaries: run a configuration for
+// the standard duration, format rows, and emit CSVs under results/.
+
+#ifndef RTQ_BENCH_BENCH_UTIL_H_
+#define RTQ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/rtdbs.h"
+#include "harness/csv.h"
+#include "harness/paper_experiments.h"
+#include "harness/table_printer.h"
+
+namespace rtq::bench {
+
+inline std::string F(double v, int p) {
+  return harness::TablePrinter::Fixed(v, p);
+}
+inline std::string Pct(double v) {
+  return harness::TablePrinter::Percent(v, 1);
+}
+
+/// Prints the standard experiment banner.
+inline void Banner(const char* title, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("simulated duration per point: %.1f hours "
+              "(override with RTQ_SIM_HOURS)\n",
+              harness::ExperimentDuration() / 3600.0);
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace rtq::bench
+
+#endif  // RTQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,58 @@
+// Quickstart: build a firm RTDBS, run the paper's baseline workload under
+// PMM for one simulated hour, and print the headline metrics.
+//
+//   $ ./build/examples/quickstart
+//
+// This is the five-minute tour of the public API: SystemConfig ->
+// Rtdbs::Create -> RunUntil -> Summarize.
+
+#include <cstdio>
+
+#include "engine/rtdbs.h"
+#include "harness/paper_experiments.h"
+
+int main() {
+  using namespace rtq;
+
+  // The paper's baseline: one class of hash joins, memory-bottlenecked
+  // (10 disks, 40 MIPS, 20 MB of buffers), PMM managing memory.
+  engine::PolicyConfig policy;
+  policy.kind = engine::PolicyKind::kPmm;
+  engine::SystemConfig config =
+      harness::BaselineConfig(/*arrival_rate=*/0.06, policy);
+
+  auto sys = engine::Rtdbs::Create(config);
+  if (!sys.ok()) {
+    std::fprintf(stderr, "config error: %s\n",
+                 sys.status().ToString().c_str());
+    return 1;
+  }
+  engine::Rtdbs& rtdbs = *sys.value();
+
+  rtdbs.RunUntil(3600.0);  // one simulated hour
+
+  engine::SystemSummary s = rtdbs.Summarize();
+  std::printf("simulated %.0f s, %llu events\n", s.simulated_time,
+              static_cast<unsigned long long>(s.events_dispatched));
+  std::printf("queries finished : %lld\n",
+              static_cast<long long>(s.overall.completions));
+  std::printf("missed deadlines : %lld (%.1f%%)\n",
+              static_cast<long long>(s.overall.misses),
+              s.overall.miss_ratio * 100.0);
+  std::printf("avg response     : %.1f s (wait %.1f + exec %.1f)\n",
+              s.overall.avg_response, s.overall.avg_wait,
+              s.overall.avg_exec);
+  std::printf("avg MPL          : %.2f\n", s.avg_mpl);
+  std::printf("cpu util         : %.1f%%\n", s.cpu_utilization * 100.0);
+  std::printf("avg disk util    : %.1f%%\n",
+              s.avg_disk_utilization * 100.0);
+
+  if (const auto* pmm = rtdbs.pmm()) {
+    std::printf("PMM mode         : %s (target MPL %lld, %lld adaptations)\n",
+                pmm->mode() == core::PmmController::Mode::kMax ? "Max"
+                                                               : "MinMax",
+                static_cast<long long>(pmm->target_mpl()),
+                static_cast<long long>(pmm->adaptations()));
+  }
+  return 0;
+}

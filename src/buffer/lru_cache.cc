@@ -1,0 +1,63 @@
+#include "buffer/lru_cache.h"
+
+#include "common/check.h"
+
+namespace rtq::buffer {
+
+LruCache::LruCache(PageCount capacity) : capacity_(capacity) {
+  RTQ_CHECK_MSG(capacity >= 0, "LRU capacity must be >= 0");
+}
+
+void LruCache::SetCapacity(PageCount capacity) {
+  RTQ_CHECK_MSG(capacity >= 0, "LRU capacity must be >= 0");
+  capacity_ = capacity;
+  EvictToCapacity();
+}
+
+void LruCache::EvictToCapacity() {
+  while (static_cast<PageCount>(map_.size()) > capacity_) {
+    map_.erase(order_.back());
+    order_.pop_back();
+  }
+}
+
+bool LruCache::Lookup(uint64_t key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  order_.splice(order_.begin(), order_, it->second);
+  ++hits_;
+  return true;
+}
+
+bool LruCache::Contains(uint64_t key) const {
+  return map_.find(key) != map_.end();
+}
+
+void LruCache::Insert(uint64_t key) {
+  if (capacity_ == 0) return;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  order_.push_front(key);
+  map_.emplace(key, order_.begin());
+  EvictToCapacity();
+}
+
+void LruCache::Erase(uint64_t key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  order_.erase(it->second);
+  map_.erase(it);
+}
+
+void LruCache::Clear() {
+  order_.clear();
+  map_.clear();
+}
+
+}  // namespace rtq::buffer

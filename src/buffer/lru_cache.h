@@ -1,0 +1,58 @@
+// Page-granular LRU cache.
+//
+// Backs the unreserved portion of the buffer pool: "page replacement for
+// non-reserved buffers is handled according to the LRU policy" (paper
+// Section 4.2). Keys are global page ids (disk, page) packed into 64 bits
+// by the buffer pool.
+
+#ifndef RTQ_BUFFER_LRU_CACHE_H_
+#define RTQ_BUFFER_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace rtq::buffer {
+
+class LruCache {
+ public:
+  explicit LruCache(PageCount capacity);
+
+  /// Changes capacity; evicts LRU entries if shrinking below current size.
+  void SetCapacity(PageCount capacity);
+
+  /// True (and promotes to MRU) when `key` is resident.
+  bool Lookup(uint64_t key);
+
+  /// True without promoting — for probing several pages before deciding.
+  bool Contains(uint64_t key) const;
+
+  /// Inserts `key` as MRU, evicting the LRU page if full. No-op for a
+  /// resident key beyond promotion, and for zero capacity.
+  void Insert(uint64_t key);
+
+  /// Removes a specific page if present (e.g. invalidation on write).
+  void Erase(uint64_t key);
+
+  void Clear();
+
+  PageCount size() const { return static_cast<PageCount>(map_.size()); }
+  PageCount capacity() const { return capacity_; }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  void EvictToCapacity();
+
+  PageCount capacity_;
+  std::list<uint64_t> order_;  // front = MRU
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace rtq::buffer
+
+#endif  // RTQ_BUFFER_LRU_CACHE_H_

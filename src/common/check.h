@@ -1,0 +1,39 @@
+// Invariant-checking macros.
+//
+// RTQ_CHECK is always on (simulation correctness depends on invariants and
+// the cost of a compare is negligible next to event dispatch). RTQ_DCHECK
+// compiles out in NDEBUG builds and is used on hot paths.
+
+#ifndef RTQ_COMMON_CHECK_H_
+#define RTQ_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define RTQ_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "RTQ_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define RTQ_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "RTQ_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define RTQ_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define RTQ_DCHECK(cond) RTQ_CHECK(cond)
+#endif
+
+#endif  // RTQ_COMMON_CHECK_H_

@@ -1,0 +1,45 @@
+// Core typed units shared across the rtq library.
+//
+// The simulator measures time in seconds (double), memory in 8 KB pages,
+// and CPU work in instructions. Using dedicated aliases (instead of bare
+// int64_t/double everywhere) keeps signatures self-documenting and makes
+// unit mistakes greppable.
+
+#ifndef RTQ_COMMON_TYPES_H_
+#define RTQ_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace rtq {
+
+/// Simulated wall-clock time, in seconds.
+using SimTime = double;
+
+/// A count of 8 KB buffer/disk pages.
+using PageCount = int64_t;
+
+/// A count of CPU instructions (cost-model currency, Table 4 of the paper).
+using Instructions = int64_t;
+
+/// Unique id assigned to each query by the workload source, in arrival order.
+/// Also used to break Earliest-Deadline ties deterministically.
+using QueryId = uint64_t;
+
+/// Index of a disk in the disk array.
+using DiskId = int32_t;
+
+/// Cylinder number on a disk (0-based, < DiskGeometry::num_cylinders).
+using Cylinder = int64_t;
+
+/// Sentinel for "no deadline" / "background priority".
+inline constexpr SimTime kNoDeadline = std::numeric_limits<SimTime>::infinity();
+
+/// Sentinel for invalid ids.
+inline constexpr QueryId kInvalidQueryId = std::numeric_limits<QueryId>::max();
+
+inline constexpr SimTime kMillisecond = 1e-3;
+
+}  // namespace rtq
+
+#endif  // RTQ_COMMON_TYPES_H_

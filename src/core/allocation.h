@@ -1,0 +1,30 @@
+// Types shared by the memory-allocation strategies.
+
+#ifndef RTQ_CORE_ALLOCATION_H_
+#define RTQ_CORE_ALLOCATION_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace rtq::core {
+
+/// What a strategy needs to know about one live query. Lists handed to
+/// strategies are sorted by Earliest Deadline (ascending deadline, ties by
+/// arrival order = QueryId).
+struct MemRequest {
+  QueryId id = kInvalidQueryId;
+  SimTime deadline = kNoDeadline;
+  SimTime arrival = 0.0;
+  /// Workload class (used only by the PMM-Fair extension).
+  int32_t query_class = -1;
+  PageCount min_memory = 0;
+  PageCount max_memory = 0;
+};
+
+/// Result: out[i] is the allocation for ed_sorted[i]; 0 = not admitted.
+using AllocationVector = std::vector<PageCount>;
+
+}  // namespace rtq::core
+
+#endif  // RTQ_CORE_ALLOCATION_H_

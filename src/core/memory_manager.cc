@@ -1,0 +1,132 @@
+#include "core/memory_manager.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace rtq::core {
+
+MemoryManager::MemoryManager(PageCount total_pages,
+                             std::unique_ptr<AllocationStrategy> strategy,
+                             ApplyFn apply)
+    : total_(total_pages),
+      strategy_(std::move(strategy)),
+      apply_(std::move(apply)) {
+  RTQ_CHECK_MSG(total_pages > 0, "pool must be positive");
+  RTQ_CHECK(strategy_ != nullptr);
+  RTQ_CHECK(apply_ != nullptr);
+}
+
+void MemoryManager::SetStrategy(
+    std::unique_ptr<AllocationStrategy> strategy) {
+  RTQ_CHECK(strategy != nullptr);
+  strategy_ = std::move(strategy);
+  Reallocate();
+}
+
+void MemoryManager::AddQuery(const MemRequest& request) {
+  RTQ_CHECK_MSG(request.min_memory >= 0 &&
+                    request.max_memory >= request.min_memory,
+                "invalid memory demands");
+  RTQ_CHECK_MSG(request.max_memory <= total_,
+                "query demands more memory than the machine has");
+  auto [id_it, id_inserted] = ids_.insert(request.id);
+  RTQ_CHECK_MSG(id_inserted, "duplicate query id");
+  (void)id_it;
+  auto [it, inserted] = queries_.emplace(
+      EdKey{request.deadline, request.id}, Entry{request, 0});
+  RTQ_CHECK(inserted);
+  (void)it;
+  Reallocate();
+}
+
+void MemoryManager::RemoveQuery(QueryId id) {
+  for (auto it = queries_.begin(); it != queries_.end(); ++it) {
+    if (it->second.request.id == id) {
+      PageCount held = it->second.allocation;
+      queries_.erase(it);
+      ids_.erase(id);
+      // Tell the receiver the query's pages are gone before anyone else
+      // is granted them (keeps external accounting conservative).
+      if (held > 0) apply_(id, 0);
+      Reallocate();
+      return;
+    }
+  }
+  RTQ_CHECK_MSG(false, "RemoveQuery: unknown query");
+}
+
+void MemoryManager::Reallocate() {
+  // An apply callback may complete a query synchronously in principle;
+  // defer nested reallocation requests to the outermost call.
+  if (reallocating_) {
+    realloc_again_ = true;
+    return;
+  }
+  reallocating_ = true;
+  do {
+    realloc_again_ = false;
+
+    std::vector<MemRequest> ed;
+    ed.reserve(queries_.size());
+    for (const auto& [key, entry] : queries_) ed.push_back(entry.request);
+
+    AllocationVector alloc = strategy_->Allocate(ed, total_);
+    RTQ_CHECK(alloc.size() == ed.size());
+
+    // Apply shrinks before grows so the pool never oversubscribes.
+    size_t i = 0;
+    PageCount sum = 0;
+    for (auto& [key, entry] : queries_) {
+      RTQ_CHECK_MSG(alloc[i] >= 0, "negative allocation from strategy");
+      RTQ_CHECK_MSG(alloc[i] <= entry.request.max_memory,
+                    "strategy exceeded a query's maximum");
+      sum += alloc[i];
+      ++i;
+    }
+    RTQ_CHECK_MSG(sum <= total_, "strategy oversubscribed the pool");
+
+    i = 0;
+    for (auto& [key, entry] : queries_) {
+      if (alloc[i] < entry.allocation) {
+        entry.allocation = alloc[i];
+        apply_(entry.request.id, alloc[i]);
+      }
+      ++i;
+    }
+    i = 0;
+    for (auto& [key, entry] : queries_) {
+      if (alloc[i] > entry.allocation) {
+        entry.allocation = alloc[i];
+        apply_(entry.request.id, alloc[i]);
+      }
+      ++i;
+    }
+  } while (realloc_again_);
+  reallocating_ = false;
+}
+
+PageCount MemoryManager::allocated_pages() const {
+  PageCount sum = 0;
+  for (const auto& [key, entry] : queries_) sum += entry.allocation;
+  return sum;
+}
+
+int64_t MemoryManager::admitted_count() const {
+  int64_t n = 0;
+  for (const auto& [key, entry] : queries_) n += entry.allocation > 0;
+  return n;
+}
+
+int64_t MemoryManager::waiting_count() const {
+  return live_count() - admitted_count();
+}
+
+PageCount MemoryManager::allocation_of(QueryId id) const {
+  for (const auto& [key, entry] : queries_) {
+    if (entry.request.id == id) return entry.allocation;
+  }
+  return 0;
+}
+
+}  // namespace rtq::core

@@ -1,0 +1,86 @@
+// The reallocation engine.
+//
+// Tracks every live query (waiting or admitted), and on every membership
+// or policy change recomputes all allocations with the active strategy
+// and pushes the deltas out through a callback. This is the mechanism
+// Section 3.2 describes: "the memory allocation of a query can vary
+// between maximum, minimum, or no allocation as higher-priority queries
+// enter and leave the system".
+
+#ifndef RTQ_CORE_MEMORY_MANAGER_H_
+#define RTQ_CORE_MEMORY_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "core/strategy.h"
+
+namespace rtq::core {
+
+class MemoryManager {
+ public:
+  /// Invoked with (query, new_allocation) whenever a query's allocation
+  /// changes. The receiver is responsible for reserving buffer-pool pages
+  /// and informing the operator.
+  using ApplyFn = std::function<void(QueryId, PageCount)>;
+
+  MemoryManager(PageCount total_pages,
+                std::unique_ptr<AllocationStrategy> strategy, ApplyFn apply);
+
+  /// Replaces the strategy and reallocates.
+  void SetStrategy(std::unique_ptr<AllocationStrategy> strategy);
+
+  /// Registers an arriving query and reallocates.
+  void AddQuery(const MemRequest& request);
+
+  /// Deregisters a completed/aborted query and reallocates. The apply
+  /// callback first sees (id, 0) if the query still held pages.
+  void RemoveQuery(QueryId id);
+
+  /// Recomputes allocations with the current strategy (idempotent).
+  void Reallocate();
+
+  const AllocationStrategy& strategy() const { return *strategy_; }
+
+  // --- introspection -----------------------------------------------------
+  PageCount total_pages() const { return total_; }
+  PageCount allocated_pages() const;
+  /// Queries with a non-zero allocation.
+  int64_t admitted_count() const;
+  /// Queries registered but currently at zero allocation.
+  int64_t waiting_count() const;
+  int64_t live_count() const { return static_cast<int64_t>(queries_.size()); }
+  PageCount allocation_of(QueryId id) const;
+
+ private:
+  struct Entry {
+    MemRequest request;
+    PageCount allocation = 0;
+  };
+
+  /// Key giving Earliest-Deadline order with deterministic tie-break.
+  struct EdKey {
+    SimTime deadline;
+    QueryId id;
+    bool operator<(const EdKey& o) const {
+      if (deadline != o.deadline) return deadline < o.deadline;
+      return id < o.id;
+    }
+  };
+
+  PageCount total_;
+  std::unique_ptr<AllocationStrategy> strategy_;
+  ApplyFn apply_;
+  std::map<EdKey, Entry> queries_;  // ED-ordered
+  std::unordered_set<QueryId> ids_; // duplicate-arrival guard
+  bool reallocating_ = false;       // guards against re-entrant reallocation
+  bool realloc_again_ = false;
+};
+
+}  // namespace rtq::core
+
+#endif  // RTQ_CORE_MEMORY_MANAGER_H_

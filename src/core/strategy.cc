@@ -1,0 +1,125 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rtq::core {
+
+AllocationVector MaxStrategy::Allocate(
+    const std::vector<MemRequest>& ed_sorted, PageCount total) const {
+  AllocationVector out(ed_sorted.size(), 0);
+  PageCount remaining = total;
+  for (size_t i = 0; i < ed_sorted.size(); ++i) {
+    const MemRequest& q = ed_sorted[i];
+    RTQ_DCHECK(q.max_memory >= q.min_memory && q.min_memory >= 0);
+    if (q.max_memory <= remaining) {
+      out[i] = q.max_memory;
+      remaining -= q.max_memory;
+    } else if (!bypass_blocked_) {
+      // Strict ED: nobody may jump over a blocked higher-priority query.
+      break;
+    }
+  }
+  return out;
+}
+
+std::string MaxStrategy::name() const {
+  return bypass_blocked_ ? "Max" : "Max(strict)";
+}
+
+AllocationVector MinMaxStrategy::Allocate(
+    const std::vector<MemRequest>& ed_sorted, PageCount total) const {
+  AllocationVector out(ed_sorted.size(), 0);
+  size_t limit = mpl_limit_ < 0
+                     ? ed_sorted.size()
+                     : std::min<size_t>(ed_sorted.size(),
+                                        static_cast<size_t>(mpl_limit_));
+  // Pass 1: minimum allocations in ED order, until memory or the MPL
+  // limit runs out. Strict priority: stop at the first query whose
+  // minimum does not fit.
+  PageCount remaining = total;
+  size_t admitted = 0;
+  for (size_t i = 0; i < limit; ++i) {
+    const MemRequest& q = ed_sorted[i];
+    if (q.min_memory > remaining) break;
+    out[i] = q.min_memory;
+    remaining -= q.min_memory;
+    admitted = i + 1;
+  }
+  // Pass 2: top up to maximum in ED order. The last query topped up may
+  // land between its minimum and maximum ("the query that gets the last
+  // few memory pages", Section 3.2).
+  for (size_t i = 0; i < admitted && remaining > 0; ++i) {
+    PageCount want = ed_sorted[i].max_memory - out[i];
+    PageCount grant = std::min(want, remaining);
+    out[i] += grant;
+    remaining -= grant;
+  }
+  return out;
+}
+
+std::string MinMaxStrategy::name() const {
+  if (mpl_limit_ < 0) return "MinMax";
+  return "MinMax-" + std::to_string(mpl_limit_);
+}
+
+AllocationVector ProportionalStrategy::Allocate(
+    const std::vector<MemRequest>& ed_sorted, PageCount total) const {
+  AllocationVector out(ed_sorted.size(), 0);
+  size_t limit = mpl_limit_ < 0
+                     ? ed_sorted.size()
+                     : std::min<size_t>(ed_sorted.size(),
+                                        static_cast<size_t>(mpl_limit_));
+  // Admit the longest ED prefix whose minimum demands fit.
+  PageCount min_sum = 0;
+  size_t admitted = 0;
+  for (size_t i = 0; i < limit; ++i) {
+    if (min_sum + ed_sorted[i].min_memory > total) break;
+    min_sum += ed_sorted[i].min_memory;
+    admitted = i + 1;
+  }
+  if (admitted == 0) return out;
+
+  // Find the largest fraction f in [0, 1] such that
+  //   sum_i max(min_i, f * max_i) <= total.
+  // The left side is piecewise-linear and nondecreasing in f; binary
+  // search converges well below one page of slack in 50 iterations.
+  auto need = [&](double f) {
+    double sum = 0.0;
+    for (size_t i = 0; i < admitted; ++i) {
+      const MemRequest& q = ed_sorted[i];
+      sum += std::max(static_cast<double>(q.min_memory),
+                      f * static_cast<double>(q.max_memory));
+    }
+    return sum;
+  };
+  double lo = 0.0, hi = 1.0;
+  if (need(1.0) <= static_cast<double>(total)) {
+    lo = 1.0;
+  } else {
+    for (int iter = 0; iter < 50; ++iter) {
+      double mid = (lo + hi) / 2.0;
+      if (need(mid) <= static_cast<double>(total)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+  for (size_t i = 0; i < admitted; ++i) {
+    const MemRequest& q = ed_sorted[i];
+    PageCount alloc = std::max(
+        q.min_memory, static_cast<PageCount>(
+                          lo * static_cast<double>(q.max_memory)));
+    out[i] = std::min(alloc, q.max_memory);
+  }
+  return out;
+}
+
+std::string ProportionalStrategy::name() const {
+  if (mpl_limit_ < 0) return "Proportional";
+  return "Proportional-" + std::to_string(mpl_limit_);
+}
+
+}  // namespace rtq::core

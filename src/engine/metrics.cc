@@ -1,0 +1,114 @@
+#include "engine/metrics.h"
+
+#include "common/check.h"
+
+namespace rtq::engine {
+
+MetricsCollector::MetricsCollector(int64_t miss_ci_batch)
+    : miss_batches_(miss_ci_batch) {}
+
+void MetricsCollector::Record(const CompletionRecord& record) {
+  records_.push_back(record);
+  miss_batches_.Add(record.info.missed ? 1.0 : 0.0);
+}
+
+void MetricsCollector::UpdateMpl(SimTime now, int64_t mpl) {
+  if (!mpl_started_) {
+    mpl_.Start(now, static_cast<double>(mpl));
+    mpl_started_ = true;
+    return;
+  }
+  mpl_.Update(now, static_cast<double>(mpl));
+}
+
+void MetricsCollector::SampleMpl(SimTime now, int64_t mpl) {
+  mpl_samples_.push_back(TimeSample{now, static_cast<double>(mpl)});
+}
+
+double MetricsCollector::AverageMpl(SimTime now) const {
+  if (!mpl_started_) return 0.0;
+  return mpl_.Average(now);
+}
+
+double MetricsCollector::MplIntegral(SimTime now) const {
+  if (!mpl_started_) return 0.0;
+  return mpl_.Integral(now);
+}
+
+stats::ConfidenceInterval MetricsCollector::MissRatioCi() const {
+  return miss_batches_.Interval(0.90);
+}
+
+void MetricsCollector::Fold(const CompletionRecord& r, ClassSummary* s,
+                            stats::RunningStats* wait,
+                            stats::RunningStats* exec,
+                            stats::RunningStats* resp,
+                            stats::RunningStats* fluct) {
+  ++s->completions;
+  if (r.info.missed) ++s->misses;
+  wait->Add(r.info.admission_wait);
+  exec->Add(r.info.execution_time);
+  resp->Add(r.info.admission_wait + r.info.execution_time);
+  fluct->Add(static_cast<double>(r.mem_fluctuations));
+}
+
+void MetricsCollector::Summarize(int32_t num_classes, ClassSummary* overall,
+                                 std::vector<ClassSummary>* per_class) const {
+  RTQ_CHECK(overall != nullptr && per_class != nullptr);
+  *overall = ClassSummary{};
+  per_class->assign(static_cast<size_t>(num_classes), ClassSummary{});
+
+  stats::RunningStats o_wait, o_exec, o_resp, o_fluct;
+  std::vector<stats::RunningStats> c_wait(num_classes), c_exec(num_classes),
+      c_resp(num_classes), c_fluct(num_classes);
+
+  for (const CompletionRecord& r : records_) {
+    Fold(r, overall, &o_wait, &o_exec, &o_resp, &o_fluct);
+    int32_t c = r.info.query_class;
+    if (c >= 0 && c < num_classes) {
+      Fold(r, &(*per_class)[c], &c_wait[c], &c_exec[c], &c_resp[c],
+           &c_fluct[c]);
+    }
+  }
+
+  auto finish = [](ClassSummary* s, const stats::RunningStats& wait,
+                   const stats::RunningStats& exec,
+                   const stats::RunningStats& resp,
+                   const stats::RunningStats& fluct) {
+    if (s->completions > 0) {
+      s->miss_ratio = static_cast<double>(s->misses) /
+                      static_cast<double>(s->completions);
+    }
+    s->avg_wait = wait.mean();
+    s->avg_exec = exec.mean();
+    s->avg_response = resp.mean();
+    s->avg_fluctuations = fluct.mean();
+  };
+  finish(overall, o_wait, o_exec, o_resp, o_fluct);
+  for (int32_t c = 0; c < num_classes; ++c) {
+    finish(&(*per_class)[c], c_wait[c], c_exec[c], c_resp[c], c_fluct[c]);
+  }
+}
+
+ClassSummary MetricsCollector::WindowSummary(
+    const std::vector<CompletionRecord>& records, SimTime from, SimTime to,
+    int32_t query_class) {
+  ClassSummary s;
+  stats::RunningStats wait, exec, resp, fluct;
+  for (const CompletionRecord& r : records) {
+    if (r.info.finish < from || r.info.finish >= to) continue;
+    if (query_class >= 0 && r.info.query_class != query_class) continue;
+    Fold(r, &s, &wait, &exec, &resp, &fluct);
+  }
+  if (s.completions > 0) {
+    s.miss_ratio =
+        static_cast<double>(s.misses) / static_cast<double>(s.completions);
+  }
+  s.avg_wait = wait.mean();
+  s.avg_exec = exec.mean();
+  s.avg_response = resp.mean();
+  s.avg_fluctuations = fluct.mean();
+  return s;
+}
+
+}  // namespace rtq::engine

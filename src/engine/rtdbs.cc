@@ -1,0 +1,448 @@
+#include "engine/rtdbs.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/pmm_fair.h"
+#include "core/strategy.h"
+
+namespace rtq::engine {
+
+// ---------------------------------------------------------------------------
+// Per-query execution context: binds the query's identity and ED priority
+// into every CPU job and disk request, charges the start-I/O CPU cost, and
+// consults the buffer pool's LRU page cache before touching a disk.
+// ---------------------------------------------------------------------------
+class Rtdbs::QueryContext : public exec::ExecContext {
+ public:
+  QueryContext(Rtdbs* sys, QueryId id, SimTime deadline)
+      : sys_(sys), id_(id), deadline_(deadline) {}
+
+  SimTime Now() const override { return sys_->sim_.Now(); }
+
+  void RunCpu(Instructions instructions,
+              std::function<void()> done) override {
+    sys_->cpu_->Submit(
+        model::CpuJob{id_, deadline_, instructions, std::move(done)});
+  }
+
+  void Read(DiskId disk, PageCount start, PageCount pages,
+            std::function<void()> done) override {
+    RTQ_DCHECK(disk >= 0 &&
+               disk < static_cast<DiskId>(sys_->disks_.size()));
+    if (sys_->CacheCovers(disk, start, pages)) {
+      // Buffer-pool hit: no disk access; the lookup cost is folded into
+      // the start-I/O charge.
+      sys_->cpu_->Submit(model::CpuJob{
+          id_, deadline_, sys_->config_.exec.costs.start_io,
+          std::move(done)});
+      return;
+    }
+    Rtdbs* sys = sys_;
+    QueryId id = id_;
+    SimTime deadline = deadline_;
+    sys_->cpu_->Submit(model::CpuJob{
+        id_, deadline_, sys_->config_.exec.costs.start_io,
+        [sys, id, deadline, disk, start, pages,
+         done = std::move(done)]() mutable {
+          model::DiskRequest req;
+          req.query = id;
+          req.deadline = deadline;
+          req.start_page = start;
+          req.pages = pages;
+          req.is_write = false;
+          req.on_complete = [sys, disk, start, pages,
+                             done = std::move(done)]() {
+            sys->CacheInsert(disk, start, pages);
+            done();
+          };
+          sys->disks_[static_cast<size_t>(disk)]->Submit(std::move(req));
+        }});
+  }
+
+  void Write(DiskId disk, PageCount start, PageCount pages,
+             std::function<void()> done, bool background) override {
+    RTQ_DCHECK(disk >= 0 &&
+               disk < static_cast<DiskId>(sys_->disks_.size()));
+    Rtdbs* sys = sys_;
+    QueryId id = id_;
+    // Background spool writes sort after every deadline-bearing request
+    // in the ED disk queues.
+    SimTime deadline = background ? kNoDeadline : deadline_;
+    sys_->CacheInvalidate(disk, start, pages);
+    sys_->cpu_->Submit(model::CpuJob{
+        id_, deadline_, sys_->config_.exec.costs.start_io,
+        [sys, id, deadline, disk, start, pages,
+         done = std::move(done)]() mutable {
+          model::DiskRequest req;
+          req.query = id;
+          req.deadline = deadline;
+          req.start_page = start;
+          req.pages = pages;
+          req.is_write = true;
+          req.on_complete = std::move(done);
+          sys->disks_[static_cast<size_t>(disk)]->Submit(std::move(req));
+        }});
+  }
+
+  StatusOr<storage::TempFile> AllocateTemp(PageCount pages,
+                                           DiskId preferred) override {
+    return sys_->temp_->Allocate(pages, preferred);
+  }
+
+  void FreeTemp(const storage::TempFile& file) override {
+    sys_->temp_->Free(file);
+  }
+
+ private:
+  Rtdbs* sys_;
+  QueryId id_;
+  SimTime deadline_;
+};
+
+// ---------------------------------------------------------------------------
+// SystemProbe: per-batch utilization and realized-MPL readings for PMM,
+// computed as integral deltas so the lifetime metrics stay intact.
+// ---------------------------------------------------------------------------
+class Rtdbs::ProbeImpl : public core::SystemProbe {
+ public:
+  explicit ProbeImpl(Rtdbs* sys) : sys_(sys) {}
+
+  Readings TakeReadings() override {
+    SimTime now = sys_->sim_.Now();
+    Readings r;
+    r.now = now;
+    double dt = now - last_time_;
+    if (dt <= 0.0) {
+      // Degenerate window; report instantaneous state.
+      r.realized_mpl =
+          static_cast<double>(sys_->mm_->admitted_count());
+      return r;
+    }
+    double cpu_busy = sys_->cpu_->busy_seconds(now);
+    r.cpu_utilization = (cpu_busy - last_cpu_busy_) / dt;
+    last_cpu_busy_ = cpu_busy;
+
+    double max_disk = 0.0;
+    double sum_disk = 0.0;
+    if (last_disk_busy_.size() != sys_->disks_.size()) {
+      last_disk_busy_.assign(sys_->disks_.size(), 0.0);
+    }
+    for (size_t d = 0; d < sys_->disks_.size(); ++d) {
+      double busy = sys_->disks_[d]->busy_seconds(now);
+      double util = (busy - last_disk_busy_[d]) / dt;
+      max_disk = std::max(max_disk, util);
+      sum_disk += util;
+      last_disk_busy_[d] = busy;
+    }
+    r.max_disk_utilization = max_disk;
+    r.avg_disk_utilization =
+        sys_->disks_.empty()
+            ? 0.0
+            : sum_disk / static_cast<double>(sys_->disks_.size());
+
+    double mpl_integral = sys_->metrics_.MplIntegral(now);
+    r.realized_mpl = (mpl_integral - last_mpl_integral_) / dt;
+    last_mpl_integral_ = mpl_integral;
+
+    last_time_ = now;
+    return r;
+  }
+
+ private:
+  Rtdbs* sys_;
+  SimTime last_time_ = 0.0;
+  double last_cpu_busy_ = 0.0;
+  std::vector<double> last_disk_busy_;
+  double last_mpl_integral_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Rtdbs
+// ---------------------------------------------------------------------------
+
+Rtdbs::Rtdbs(const SystemConfig& config)
+    : config_(config), metrics_(config.miss_ci_batch) {}
+
+Rtdbs::~Rtdbs() = default;
+
+StatusOr<std::unique_ptr<Rtdbs>> Rtdbs::Create(const SystemConfig& config) {
+  RTQ_RETURN_IF_ERROR(config.Validate());
+  std::unique_ptr<Rtdbs> sys(new Rtdbs(config));
+  RTQ_RETURN_IF_ERROR(sys->Init());
+  return sys;
+}
+
+Status Rtdbs::Init() {
+  Rng master(config_.seed);
+  Rng placement_rng = master.Fork();
+  Rng source_rng = master.Fork();
+
+  cpu_ = std::make_unique<model::Cpu>(&sim_, config_.mips);
+  disks_.reserve(config_.num_disks);
+  for (DiskId d = 0; d < config_.num_disks; ++d) {
+    disks_.push_back(
+        std::make_unique<model::Disk>(&sim_, config_.disk, d));
+  }
+
+  auto db = storage::Database::Create(config_.database, config_.disk,
+                                      &placement_rng);
+  RTQ_RETURN_IF_ERROR(db.status().ok() ? Status::Ok() : db.status());
+  db_ = std::make_unique<storage::Database>(std::move(db).value());
+  {
+    Status s = config_.workload.Validate(*db_);
+    if (!s.ok()) return s;
+  }
+  temp_ = std::make_unique<storage::TempSpace>(*db_, config_.disk);
+  pool_ = std::make_unique<buffer::BufferPool>(config_.memory_pages);
+
+  // Memory-management policy.
+  std::unique_ptr<core::AllocationStrategy> strategy;
+  switch (config_.policy.kind) {
+    case PolicyKind::kMax:
+      strategy =
+          std::make_unique<core::MaxStrategy>(config_.policy.max_bypass);
+      break;
+    case PolicyKind::kMinMax:
+      strategy = std::make_unique<core::MinMaxStrategy>(-1);
+      break;
+    case PolicyKind::kMinMaxN:
+      strategy =
+          std::make_unique<core::MinMaxStrategy>(config_.policy.mpl_limit);
+      break;
+    case PolicyKind::kProportional:
+      strategy = std::make_unique<core::ProportionalStrategy>(-1);
+      break;
+    case PolicyKind::kProportionalN:
+      strategy = std::make_unique<core::ProportionalStrategy>(
+          config_.policy.mpl_limit);
+      break;
+    case PolicyKind::kPmm:
+    case PolicyKind::kPmmFair:
+      // The controller installs its own strategy after construction.
+      strategy = std::make_unique<core::MaxStrategy>();
+      break;
+  }
+  mm_ = std::make_unique<core::MemoryManager>(
+      config_.memory_pages, std::move(strategy),
+      [this](QueryId id, PageCount pages) { ApplyAllocation(id, pages); });
+
+  if (config_.policy.kind == PolicyKind::kPmm ||
+      config_.policy.kind == PolicyKind::kPmmFair) {
+    probe_ = std::make_unique<ProbeImpl>(this);
+    if (config_.policy.kind == PolicyKind::kPmm) {
+      controller_ = std::make_unique<core::PmmController>(
+          config_.pmm, mm_.get(), probe_.get());
+    } else {
+      controller_ = std::make_unique<core::PmmFairController>(
+          config_.pmm, mm_.get(), probe_.get(),
+          config_.policy.fair_weights);
+    }
+  }
+
+  source_ = std::make_unique<workload::Source>(
+      &sim_, db_.get(), config_.workload, config_.exec, config_.disk,
+      config_.mips, std::move(source_rng),
+      [this](exec::QueryDescriptor desc,
+             std::unique_ptr<exec::Operator> op) {
+        OnArrival(std::move(desc), std::move(op));
+      });
+
+  metrics_.UpdateMpl(0.0, 0);
+  return Status::Ok();
+}
+
+void Rtdbs::RunUntil(SimTime until) {
+  if (!started_) {
+    started_ = true;
+    source_->Start();
+    ScheduleMplSampler();
+  }
+  sim_.RunUntil(until);
+}
+
+void Rtdbs::ScheduleMplSampler() {
+  if (config_.mpl_sample_interval <= 0.0) return;
+  sim_.ScheduleAfter(config_.mpl_sample_interval, [this] {
+    metrics_.SampleMpl(sim_.Now(),
+                       static_cast<int64_t>(mm_->admitted_count()));
+    ScheduleMplSampler();
+  });
+}
+
+void Rtdbs::OnArrival(exec::QueryDescriptor desc,
+                      std::unique_ptr<exec::Operator> op) {
+  QueryId id = desc.id;
+  auto rt = std::make_unique<QueryRuntime>();
+  rt->desc = desc;
+  rt->op = std::move(op);
+  rt->ctx = std::make_unique<QueryContext>(this, id, desc.deadline);
+  rt->op->on_finished = [this, id] { OnOperatorFinished(id); };
+  rt->deadline_event =
+      sim_.ScheduleAt(desc.deadline, [this, id] { OnDeadline(id); });
+
+  auto [it, inserted] = runtimes_.emplace(id, std::move(rt));
+  RTQ_CHECK_MSG(inserted, "duplicate query id at arrival");
+  (void)it;
+
+  core::MemRequest req;
+  req.id = id;
+  req.deadline = desc.deadline;
+  req.arrival = desc.arrival;
+  req.query_class = desc.query_class;
+  req.min_memory = desc.min_memory;
+  // A query whose maximum demand exceeds the machine is capped: it runs
+  // at whatever the pool can give (its operator adapts), never at "max".
+  req.max_memory = std::min(desc.max_memory, config_.memory_pages);
+  mm_->AddQuery(req);
+  UpdateMplSignal();
+}
+
+void Rtdbs::ApplyAllocation(QueryId id, PageCount pages) {
+  auto it = runtimes_.find(id);
+  if (it == runtimes_.end()) return;  // already finished
+  QueryRuntime& rt = *it->second;
+  if (rt.finished) return;
+  if (pages == rt.allocation) return;
+  if (const char* tq = std::getenv("RTQ_TRACE_QUERY")) {
+    if (static_cast<QueryId>(std::atoll(tq)) == id) {
+      std::fprintf(stderr, "[trace] t=%.1f q%llu alloc %lld -> %lld (max=%lld)\n",
+                   sim_.Now(), (unsigned long long)id,
+                   (long long)rt.allocation, (long long)pages,
+                   (long long)rt.desc.max_memory);
+    }
+  }
+
+  Status st = pool_->SetReservation(id, pages);
+  RTQ_CHECK_MSG(st.ok(), st.ToString().c_str());
+
+  if (rt.op->started()) ++rt.fluctuations;
+  rt.allocation = pages;
+
+  if (!rt.op->started()) {
+    if (pages > 0) {
+      RTQ_CHECK_MSG(pages >= rt.desc.min_memory || pages >= rt.op->min_memory(),
+                    "admission below operator minimum");
+      rt.admitted_once = true;
+      rt.first_admit = sim_.Now();
+      rt.op->SetAllocation(pages);
+      rt.op->Start(rt.ctx.get());
+    }
+  } else {
+    rt.op->SetAllocation(pages);
+  }
+  UpdateMplSignal();
+}
+
+void Rtdbs::OnOperatorFinished(QueryId id) { FinishQuery(id, false); }
+
+void Rtdbs::OnDeadline(QueryId id) {
+  auto it = runtimes_.find(id);
+  if (it == runtimes_.end()) return;
+  QueryRuntime& rt = *it->second;
+  if (rt.finished) return;
+  // Firm deadline: cancel all outstanding demands and discard the work.
+  cpu_->CancelQuery(id);
+  for (auto& disk : disks_) disk->CancelQuery(id);
+  rt.op->Abort();
+  FinishQuery(id, true);
+}
+
+void Rtdbs::FinishQuery(QueryId id, bool missed) {
+  auto it = runtimes_.find(id);
+  RTQ_CHECK_MSG(it != runtimes_.end(), "finishing unknown query");
+  std::unique_ptr<QueryRuntime> rt = std::move(it->second);
+  runtimes_.erase(it);
+  rt->finished = true;
+
+  if (!missed) sim_.Cancel(rt->deadline_event);
+  pool_->ReleaseAll(id);
+
+  SimTime now = sim_.Now();
+  CompletionRecord rec;
+  rec.info.id = id;
+  rec.info.query_class = rt->desc.query_class;
+  rec.info.missed = missed;
+  rec.info.arrival = rt->desc.arrival;
+  rec.info.finish = now;
+  rec.info.deadline = rt->desc.deadline;
+  rec.info.admission_wait =
+      rt->admitted_once ? rt->first_admit - rt->desc.arrival
+                        : now - rt->desc.arrival;
+  rec.info.execution_time = rt->admitted_once ? now - rt->first_admit : 0.0;
+  rec.info.time_constraint = rt->desc.deadline - rt->desc.arrival;
+  rec.info.max_memory = rt->desc.max_memory;
+  rec.info.operand_io_requests = rt->desc.operand_io_requests;
+  rec.type = rt->desc.type;
+  rec.mem_fluctuations = rt->fluctuations;
+  rec.pages_read = rt->op->counters().pages_read;
+  rec.pages_written = rt->op->counters().pages_written;
+  metrics_.Record(rec);
+
+  // Park the runtime: the operator may still be on the call stack.
+  retired_.push_back(std::move(rt));
+
+  mm_->RemoveQuery(id);
+  UpdateMplSignal();
+  if (controller_) controller_->OnQueryFinished(rec.info);
+}
+
+void Rtdbs::UpdateMplSignal() {
+  metrics_.UpdateMpl(sim_.Now(),
+                     static_cast<int64_t>(mm_->admitted_count()));
+}
+
+bool Rtdbs::CacheCovers(DiskId disk, PageCount start, PageCount pages) {
+  buffer::LruCache& cache = pool_->page_cache();
+  if (cache.capacity() == 0) return false;
+  for (PageCount p = start; p < start + pages; ++p) {
+    if (!cache.Contains(buffer::BufferPool::PageKey(disk, p))) return false;
+  }
+  // Touch all pages to promote them.
+  for (PageCount p = start; p < start + pages; ++p) {
+    cache.Lookup(buffer::BufferPool::PageKey(disk, p));
+  }
+  return true;
+}
+
+void Rtdbs::CacheInsert(DiskId disk, PageCount start, PageCount pages) {
+  buffer::LruCache& cache = pool_->page_cache();
+  if (cache.capacity() == 0) return;
+  for (PageCount p = start; p < start + pages; ++p) {
+    cache.Insert(buffer::BufferPool::PageKey(disk, p));
+  }
+}
+
+void Rtdbs::CacheInvalidate(DiskId disk, PageCount start, PageCount pages) {
+  buffer::LruCache& cache = pool_->page_cache();
+  for (PageCount p = start; p < start + pages; ++p) {
+    cache.Erase(buffer::BufferPool::PageKey(disk, p));
+  }
+}
+
+SystemSummary Rtdbs::Summarize() const {
+  SimTime now = sim_.Now();
+  SystemSummary s;
+  metrics_.Summarize(static_cast<int32_t>(config_.workload.classes.size()),
+                     &s.overall, &s.per_class);
+  s.avg_mpl = metrics_.AverageMpl(now);
+  s.cpu_utilization = now > 0.0 ? cpu_->busy_seconds(now) / now : 0.0;
+  double sum = 0.0, mx = 0.0;
+  for (const auto& disk : disks_) {
+    double u = now > 0.0 ? disk->busy_seconds(now) / now : 0.0;
+    sum += u;
+    mx = std::max(mx, u);
+  }
+  s.avg_disk_utilization =
+      disks_.empty() ? 0.0 : sum / static_cast<double>(disks_.size());
+  s.max_disk_utilization = mx;
+  s.miss_ratio_ci = metrics_.MissRatioCi();
+  s.events_dispatched = sim_.events_dispatched();
+  s.simulated_time = now;
+  return s;
+}
+
+}  // namespace rtq::engine

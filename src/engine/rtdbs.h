@@ -1,0 +1,126 @@
+// The assembled firm real-time database system (paper Figure 2).
+//
+// Wires together the Source, the operators ("Query Manager"), the buffer
+// pool + memory-management policy ("Buffer Manager"), and the CPU and
+// disk managers, and owns the lifecycle of every query:
+//
+//   arrival -> [waiting] -> admission (first allocation) -> execution
+//           -> completion | deadline abort (firm: work is discarded)
+//
+// Memory allocations can be revised at any moment by the policy; the
+// engine pushes the deltas into the buffer pool and the operators and
+// counts the per-query fluctuations (Figure 7's metric).
+
+#ifndef RTQ_ENGINE_RTDBS_H_
+#define RTQ_ENGINE_RTDBS_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "common/status.h"
+#include "core/memory_manager.h"
+#include "core/pmm.h"
+#include "engine/metrics.h"
+#include "engine/system_config.h"
+#include "exec/exec_context.h"
+#include "exec/operator.h"
+#include "model/cpu.h"
+#include "model/disk.h"
+#include "sim/simulator.h"
+#include "storage/database.h"
+#include "storage/temp_space.h"
+#include "workload/source.h"
+
+namespace rtq::engine {
+
+class Rtdbs {
+ public:
+  /// Builds the full system; fails on invalid configuration.
+  static StatusOr<std::unique_ptr<Rtdbs>> Create(const SystemConfig& config);
+
+  ~Rtdbs();
+  Rtdbs(const Rtdbs&) = delete;
+  Rtdbs& operator=(const Rtdbs&) = delete;
+
+  /// Advances the simulation to absolute time `until` (seconds). May be
+  /// called repeatedly with increasing horizons (the workload-alternation
+  /// experiment interleaves Run with Source activation changes).
+  void RunUntil(SimTime until);
+
+  /// Summary of everything recorded so far.
+  SystemSummary Summarize() const;
+
+  // --- component access (experiments, tests) ----------------------------
+  sim::Simulator& simulator() { return sim_; }
+  workload::Source& source() { return *source_; }
+  core::MemoryManager& memory_manager() { return *mm_; }
+  const storage::Database& database() const { return *db_; }
+  const MetricsCollector& metrics() const { return metrics_; }
+  buffer::BufferPool& buffer_pool() { return *pool_; }
+  /// Null unless the policy is PMM / PMM-Fair.
+  const core::PmmController* pmm() const { return controller_.get(); }
+  const SystemConfig& config() const { return config_; }
+
+  /// Live queries currently registered (waiting + admitted).
+  int64_t live_queries() const {
+    return static_cast<int64_t>(runtimes_.size());
+  }
+
+ private:
+  class QueryContext;
+  class ProbeImpl;
+
+  struct QueryRuntime {
+    exec::QueryDescriptor desc;
+    std::unique_ptr<exec::Operator> op;
+    std::unique_ptr<QueryContext> ctx;
+    sim::EventId deadline_event = sim::kInvalidEventId;
+    PageCount allocation = 0;
+    bool admitted_once = false;
+    SimTime first_admit = 0.0;
+    int64_t fluctuations = 0;
+    bool finished = false;
+  };
+
+  explicit Rtdbs(const SystemConfig& config);
+  Status Init();
+
+  void OnArrival(exec::QueryDescriptor desc,
+                 std::unique_ptr<exec::Operator> op);
+  void ApplyAllocation(QueryId id, PageCount pages);
+  void OnOperatorFinished(QueryId id);
+  void OnDeadline(QueryId id);
+  /// Shared tail of completion/abort: cancel resources, record, notify.
+  void FinishQuery(QueryId id, bool missed);
+  void UpdateMplSignal();
+  void ScheduleMplSampler();
+
+  // Page-cache helpers (LRU over unreserved pool pages).
+  bool CacheCovers(DiskId disk, PageCount start, PageCount pages);
+  void CacheInsert(DiskId disk, PageCount start, PageCount pages);
+  void CacheInvalidate(DiskId disk, PageCount start, PageCount pages);
+
+  SystemConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<model::Cpu> cpu_;
+  std::vector<std::unique_ptr<model::Disk>> disks_;
+  std::unique_ptr<storage::Database> db_;
+  std::unique_ptr<storage::TempSpace> temp_;
+  std::unique_ptr<buffer::BufferPool> pool_;
+  std::unique_ptr<core::MemoryManager> mm_;
+  std::unique_ptr<core::PmmController> controller_;
+  std::unique_ptr<ProbeImpl> probe_;
+  std::unique_ptr<workload::Source> source_;
+  MetricsCollector metrics_;
+
+  std::unordered_map<QueryId, std::unique_ptr<QueryRuntime>> runtimes_;
+  /// Finished runtimes are parked here (not destroyed mid-callback).
+  std::vector<std::unique_ptr<QueryRuntime>> retired_;
+  bool started_ = false;
+};
+
+}  // namespace rtq::engine
+
+#endif  // RTQ_ENGINE_RTDBS_H_

@@ -1,0 +1,54 @@
+#include "engine/system_config.h"
+
+namespace rtq::engine {
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kMax:
+      return "Max";
+    case PolicyKind::kMinMax:
+      return "MinMax";
+    case PolicyKind::kMinMaxN:
+      return "MinMax-N";
+    case PolicyKind::kProportional:
+      return "Proportional";
+    case PolicyKind::kProportionalN:
+      return "Proportional-N";
+    case PolicyKind::kPmm:
+      return "PMM";
+    case PolicyKind::kPmmFair:
+      return "PMM-Fair";
+  }
+  return "?";
+}
+
+Status SystemConfig::Validate() const {
+  if (mips <= 0.0) return Status::InvalidArgument("mips must be > 0");
+  if (num_disks <= 0)
+    return Status::InvalidArgument("num_disks must be > 0");
+  if (memory_pages <= 0)
+    return Status::InvalidArgument("memory_pages must be > 0");
+  RTQ_RETURN_IF_ERROR(disk.Validate());
+  RTQ_RETURN_IF_ERROR(exec.Validate());
+  RTQ_RETURN_IF_ERROR(pmm.Validate());
+  {
+    // Database/workload validation needs the spec cross-checks.
+    Status s = database.Validate(disk);
+    if (!s.ok()) return s;
+  }
+  if ((policy.kind == PolicyKind::kMinMaxN ||
+       policy.kind == PolicyKind::kProportionalN) &&
+      policy.mpl_limit < 1) {
+    return Status::InvalidArgument("-N policies need mpl_limit >= 1");
+  }
+  if (policy.kind == PolicyKind::kPmmFair &&
+      policy.fair_weights.size() != workload.classes.size()) {
+    return Status::InvalidArgument(
+        "PMM-Fair needs one weight per workload class");
+  }
+  if (miss_ci_batch < 1)
+    return Status::InvalidArgument("miss_ci_batch must be >= 1");
+  return Status::Ok();
+}
+
+}  // namespace rtq::engine

@@ -1,0 +1,68 @@
+// Full configuration of a simulated RTDBS (paper Tables 1-4).
+//
+// Defaults reproduce Table 3's resource settings. Experiment-specific
+// database and workload settings (Tables 6 and 8) are built by the bench
+// harness (src/harness/paper_experiments.h).
+
+#ifndef RTQ_ENGINE_SYSTEM_CONFIG_H_
+#define RTQ_ENGINE_SYSTEM_CONFIG_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/pmm.h"
+#include "exec/cost_model.h"
+#include "model/disk_geometry.h"
+#include "storage/database.h"
+#include "workload/workload_spec.h"
+
+namespace rtq::engine {
+
+enum class PolicyKind {
+  kMax,           ///< static Max strategy
+  kMinMax,        ///< static MinMax-infinity
+  kMinMaxN,       ///< static MinMax-N (mpl_limit)
+  kProportional,  ///< static Proportional-infinity
+  kProportionalN, ///< static Proportional-N (mpl_limit)
+  kPmm,           ///< adaptive PMM controller
+  kPmmFair,       ///< PMM with the Section 5.6 fairness extension
+};
+
+const char* PolicyKindName(PolicyKind kind);
+
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kPmm;
+  /// N for the -N variants.
+  int64_t mpl_limit = -1;
+  /// Max admission bypass (see MaxStrategy); ablation A1 turns it off.
+  bool max_bypass = true;
+  /// Per-class desired relative miss ratios for kPmmFair.
+  std::vector<double> fair_weights;
+};
+
+struct SystemConfig {
+  /// CPU MIPS rating (Table 3: 40 MIPS).
+  double mips = 40.0;
+  /// Number of disks (Table 3 default; experiments use 6, 10 or 12).
+  int32_t num_disks = 10;
+  model::DiskParams disk;
+  /// Total buffer pool M in pages (Table 3: 2560 pages = 20 MB).
+  PageCount memory_pages = 2560;
+  exec::ExecParams exec;
+  storage::DatabaseSpec database;
+  workload::WorkloadSpec workload;
+  core::PmmParams pmm;
+  PolicyConfig policy;
+  uint64_t seed = 42;
+  /// Interval of the realized-MPL trace sampler; <= 0 disables it.
+  SimTime mpl_sample_interval = 60.0;
+  /// Batch size for the miss-ratio batch-means confidence interval.
+  int64_t miss_ci_batch = 200;
+
+  Status Validate() const;
+};
+
+}  // namespace rtq::engine
+
+#endif  // RTQ_ENGINE_SYSTEM_CONFIG_H_

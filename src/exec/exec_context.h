@@ -1,0 +1,52 @@
+// The services an executing operator may request from the system.
+//
+// The engine implements this per query, binding the query's id and
+// deadline into every CPU job and disk request so that ED scheduling and
+// per-query cancellation work transparently. Tests implement it with a
+// synchronous mock, which makes the operator state machines unit-testable
+// without the full system.
+
+#ifndef RTQ_EXEC_EXEC_CONTEXT_H_
+#define RTQ_EXEC_EXEC_CONTEXT_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/temp_space.h"
+
+namespace rtq::exec {
+
+class ExecContext {
+ public:
+  virtual ~ExecContext() = default;
+
+  virtual SimTime Now() const = 0;
+
+  /// Executes `instructions` on the CPU (ED-scheduled, preemptible), then
+  /// invokes `done`. Implementations add the per-request start-I/O CPU
+  /// charge to Read/Write themselves; callers only pass algorithmic work.
+  virtual void RunCpu(Instructions instructions,
+                      std::function<void()> done) = 0;
+
+  /// Reads `pages` consecutive pages starting at `start_page` on `disk`,
+  /// then invokes `done`.
+  virtual void Read(DiskId disk, PageCount start_page, PageCount pages,
+                    std::function<void()> done) = 0;
+
+  /// Writes `pages` consecutive pages starting at `start_page` on `disk`,
+  /// then invokes `done`. `background` writes carry the lowest scheduling
+  /// priority (spool traffic must never delay deadline-critical reads —
+  /// PPHJ's "priority spooling").
+  virtual void Write(DiskId disk, PageCount start_page, PageCount pages,
+                     std::function<void()> done, bool background) = 0;
+
+  /// Allocates / frees temp-file extents (inner/outer cylinders).
+  virtual StatusOr<storage::TempFile> AllocateTemp(PageCount pages,
+                                                   DiskId preferred) = 0;
+  virtual void FreeTemp(const storage::TempFile& file) = 0;
+};
+
+}  // namespace rtq::exec
+
+#endif  // RTQ_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,42 @@
+// Closed-form stand-alone execution time estimates.
+//
+// The workload source needs each query's stand-alone time — "the time it
+// would take to execute alone in the system with its maximum memory
+// allocation" (Section 4.1) — to assign deadlines. With maximum memory
+// neither operator does any temp I/O, and a lone query alternates CPU and
+// disk with no queueing, so the time decomposes into a deterministic CPU
+// component (Table 4 costs / MIPS) plus a disk component (per-request
+// positioning + media transfer). An integration test checks these
+// estimates against actually simulating a solitary query.
+
+#ifndef RTQ_EXEC_STANDALONE_H_
+#define RTQ_EXEC_STANDALONE_H_
+
+#include "common/types.h"
+#include "exec/cost_model.h"
+#include "model/disk_geometry.h"
+
+namespace rtq::exec {
+
+struct StandaloneEstimate {
+  SimTime cpu_time = 0.0;
+  SimTime io_time = 0.0;
+  /// Sequential block requests needed to read the operand relation(s).
+  int64_t io_requests = 0;
+  SimTime total() const { return cpu_time + io_time; }
+};
+
+/// Hash join of ||R|| = r_pages with ||S|| = s_pages at maximum memory.
+StandaloneEstimate EstimateHashJoin(const ExecParams& exec,
+                                    const model::DiskParams& disk,
+                                    double mips, PageCount r_pages,
+                                    PageCount s_pages);
+
+/// External sort of ||R|| = pages at maximum memory (in-memory sort).
+StandaloneEstimate EstimateExternalSort(const ExecParams& exec,
+                                        const model::DiskParams& disk,
+                                        double mips, PageCount pages);
+
+}  // namespace rtq::exec
+
+#endif  // RTQ_EXEC_STANDALONE_H_

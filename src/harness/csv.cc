@@ -1,0 +1,61 @@
+#include "harness/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace rtq::harness {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += Escape(headers_[c]);
+    if (c + 1 < headers_.size()) out += ',';
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += Escape(row[c]);
+      if (c + 1 < row.size()) out += ',';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::error_code ec;
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) return Status::Internal("mkdir failed: " + ec.message());
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  std::string data = ToString();
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size())
+    return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+}  // namespace rtq::harness

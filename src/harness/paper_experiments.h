@@ -1,0 +1,71 @@
+// Ready-made SystemConfigs for every experiment in the paper's Section 5,
+// plus run helpers shared by the bench binaries.
+
+#ifndef RTQ_HARNESS_PAPER_EXPERIMENTS_H_
+#define RTQ_HARNESS_PAPER_EXPERIMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/rtdbs.h"
+#include "engine/system_config.h"
+
+namespace rtq::harness {
+
+/// Simulated duration for the experiments. Defaults to the paper's 10
+/// simulated hours; override with environment variable RTQ_SIM_HOURS
+/// (e.g. RTQ_SIM_HOURS=2 for quick runs).
+SimTime ExperimentDuration();
+
+/// Policies compared in the baseline experiment (Figure 3).
+std::vector<engine::PolicyConfig> BaselinePolicies();
+
+/// Section 5.1: memory-bottlenecked baseline. One hash-join class,
+/// ||R|| in [600,1800], ||S|| in [3000,9000], 40 MIPS, 10 disks,
+/// M = 2560 pages, slack in [2.5, 7.5].
+engine::SystemConfig BaselineConfig(double arrival_rate,
+                                    const engine::PolicyConfig& policy,
+                                    uint64_t seed = 42);
+
+/// Section 5.2: same but 6 disks (moderate disk contention).
+engine::SystemConfig DiskContentionConfig(double arrival_rate,
+                                          const engine::PolicyConfig& policy,
+                                          uint64_t seed = 42);
+
+/// Section 5.3 (Table 8): Small + Medium join classes on 6 disks. Both
+/// classes exist; `medium_active` / `small_active` choose the initial
+/// activation (the bench alternates them at run time).
+engine::SystemConfig WorkloadChangeConfig(const engine::PolicyConfig& policy,
+                                          bool medium_active,
+                                          bool small_active,
+                                          uint64_t seed = 42);
+
+/// Section 5.5: external-sort workload, ||R|| in [600,1800], baseline
+/// resources (10 disks).
+engine::SystemConfig ExternalSortConfig(double arrival_rate,
+                                        const engine::PolicyConfig& policy,
+                                        uint64_t seed = 42);
+
+/// Section 5.6: multiclass — Medium at 0.065 q/s plus Small at
+/// `small_rate`, 12 disks.
+engine::SystemConfig MulticlassConfig(double small_rate,
+                                      const engine::PolicyConfig& policy,
+                                      uint64_t seed = 42);
+
+/// Section 5.7: the disk-contention experiment with memory and relation
+/// sizes scaled up by `scale` and the arrival rate scaled down by the
+/// same factor (disk cylinder count grows to hold the larger relations).
+engine::SystemConfig ScaledConfig(double arrival_rate,
+                                  const engine::PolicyConfig& policy,
+                                  double scale, uint64_t seed = 42);
+
+/// Builds the system, runs it for ExperimentDuration(), returns the
+/// summary. Aborts on configuration errors (bench binaries are internal).
+engine::SystemSummary RunOnce(const engine::SystemConfig& config);
+
+/// Convenience: short policy label for tables ("Max", "MinMax-10", ...).
+std::string PolicyLabel(const engine::PolicyConfig& policy);
+
+}  // namespace rtq::harness
+
+#endif  // RTQ_HARNESS_PAPER_EXPERIMENTS_H_

@@ -1,0 +1,91 @@
+#include "model/cpu.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace rtq::model {
+
+Cpu::Cpu(sim::Simulator* sim, double mips) : sim_(sim), mips_(mips) {
+  RTQ_CHECK(sim != nullptr);
+  RTQ_CHECK_MSG(mips > 0.0, "CPU speed must be positive");
+  busy_.Start(sim->Now(), 0.0);
+}
+
+SimTime Cpu::ExecutionTime(Instructions instructions) const {
+  RTQ_DCHECK(instructions >= 0);
+  return static_cast<double>(instructions) / (mips_ * 1e6);
+}
+
+void Cpu::Submit(CpuJob job) {
+  RTQ_CHECK_MSG(job.instructions >= 0, "negative instruction count");
+  JobKey key{job.deadline, job.query, next_seq_++};
+  jobs_.emplace(key, JobState{static_cast<double>(job.instructions),
+                              std::move(job.on_complete)});
+  // Preemption only for strictly earlier deadlines: a deadline tie is not
+  // worth a context switch, so ties run the incumbent to completion.
+  if (running_ && job.deadline < running_key_.deadline) PreemptRunning();
+  if (!running_) Dispatch();
+}
+
+int64_t Cpu::CancelQuery(QueryId query) {
+  if (running_ && running_key_.query == query) PreemptRunning();
+  int64_t removed = 0;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->first.query == query) {
+      it = jobs_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  if (!running_) Dispatch();
+  return removed;
+}
+
+void Cpu::PreemptRunning() {
+  RTQ_DCHECK(running_);
+  auto it = jobs_.find(running_key_);
+  RTQ_DCHECK(it != jobs_.end());
+  double executed = (sim_->Now() - running_since_) * mips_ * 1e6;
+  it->second.remaining_instructions -= executed;
+  if (it->second.remaining_instructions < 0.0) {
+    it->second.remaining_instructions = 0.0;
+  }
+  sim_->Cancel(completion_event_);
+  completion_event_ = sim::kInvalidEventId;
+  running_ = false;
+  ++preemptions_;
+  busy_.Update(sim_->Now(), 0.0);
+}
+
+void Cpu::Dispatch() {
+  RTQ_DCHECK(!running_);
+  if (jobs_.empty()) return;
+  auto it = jobs_.begin();
+  running_ = true;
+  running_key_ = it->first;
+  running_since_ = sim_->Now();
+  busy_.Update(sim_->Now(), 1.0);
+  SimTime duration = it->second.remaining_instructions / (mips_ * 1e6);
+  completion_event_ =
+      sim_->ScheduleAfter(duration, [this] { OnJobComplete(); });
+}
+
+void Cpu::OnJobComplete() {
+  RTQ_DCHECK(running_);
+  auto it = jobs_.find(running_key_);
+  RTQ_DCHECK(it != jobs_.end());
+  auto callback = std::move(it->second.on_complete);
+  jobs_.erase(it);
+  running_ = false;
+  completion_event_ = sim::kInvalidEventId;
+  ++completed_jobs_;
+  busy_.Update(sim_->Now(), 0.0);
+  // Dispatch the next job before delivering the callback so a callback
+  // that submits fresh work observes a consistent CPU.
+  Dispatch();
+  if (callback) callback();
+}
+
+}  // namespace rtq::model

@@ -1,0 +1,100 @@
+// Preemptive Earliest-Deadline CPU server (paper Section 4.2).
+//
+// "The CPU, which has a MIPS rating of CPUSpeed, is scheduled by the
+// Earliest Deadline discipline." Jobs are instruction counts; the job
+// with the earliest deadline executes, and an arriving job with an
+// earlier deadline preempts the running one (the preempted job keeps its
+// remaining instruction count). Ties break by query id, then submission
+// order, so runs are deterministic.
+
+#ifndef RTQ_MODEL_CPU_H_
+#define RTQ_MODEL_CPU_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "stats/time_weighted.h"
+
+namespace rtq::model {
+
+struct CpuJob {
+  QueryId query = kInvalidQueryId;
+  /// ED priority: earlier deadline runs first.
+  SimTime deadline = kNoDeadline;
+  Instructions instructions = 0;
+  /// Invoked when the job's instruction budget has been executed.
+  std::function<void()> on_complete;
+};
+
+class Cpu {
+ public:
+  Cpu(sim::Simulator* sim, double mips);
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Enqueues a job; may preempt the running job.
+  void Submit(CpuJob job);
+
+  /// Removes all jobs (queued or running) belonging to `query`. Unlike a
+  /// disk access, CPU work stops instantly on abort. Returns the number
+  /// of jobs removed.
+  int64_t CancelQuery(QueryId query);
+
+  /// Time to execute `instructions` at this CPU's speed.
+  SimTime ExecutionTime(Instructions instructions) const;
+
+  /// Fraction of time the CPU was busy since construction.
+  double Utilization(SimTime now) const { return busy_.Average(now); }
+  /// Total busy seconds since construction (windowed utilizations are
+  /// computed by differencing snapshots of this integral).
+  double busy_seconds(SimTime now) const { return busy_.Integral(now); }
+
+  double mips() const { return mips_; }
+  size_t pending_jobs() const { return jobs_.size(); }
+  int64_t completed_jobs() const { return completed_jobs_; }
+  int64_t preemptions() const { return preemptions_; }
+
+ private:
+  struct JobKey {
+    SimTime deadline;
+    QueryId query;
+    uint64_t seq;
+    bool operator<(const JobKey& other) const {
+      if (deadline != other.deadline) return deadline < other.deadline;
+      if (query != other.query) return query < other.query;
+      return seq < other.seq;
+    }
+  };
+  struct JobState {
+    double remaining_instructions;
+    std::function<void()> on_complete;
+  };
+
+  /// Suspends the running job, crediting executed instructions.
+  void PreemptRunning();
+  /// Starts (or resumes) the highest-priority job, if any.
+  void Dispatch();
+  void OnJobComplete();
+
+  sim::Simulator* sim_;
+  double mips_;
+
+  std::map<JobKey, JobState> jobs_;  // ordered: begin() = highest priority
+  bool running_ = false;
+  JobKey running_key_{};
+  SimTime running_since_ = 0.0;
+  sim::EventId completion_event_ = sim::kInvalidEventId;
+  uint64_t next_seq_ = 0;
+
+  stats::TimeWeightedAverage busy_;
+  int64_t completed_jobs_ = 0;
+  int64_t preemptions_ = 0;
+};
+
+}  // namespace rtq::model
+
+#endif  // RTQ_MODEL_CPU_H_

@@ -1,0 +1,99 @@
+// A single disk with Earliest-Deadline queueing (paper Section 4.2).
+//
+// "Every disk manages its own queue by the ED policy; any disk requests
+// that ED assigns the same priority to are serviced according to the
+// elevator algorithm." Service is non-preemptive: an access in progress
+// completes even if a more urgent request arrives, and even if its issuing
+// query is aborted (the callback is simply dropped in that case).
+
+#ifndef RTQ_MODEL_DISK_H_
+#define RTQ_MODEL_DISK_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+
+#include "common/types.h"
+#include "model/disk_cache.h"
+#include "model/disk_geometry.h"
+#include "sim/simulator.h"
+#include "stats/time_weighted.h"
+
+namespace rtq::model {
+
+struct DiskRequest {
+  QueryId query = kInvalidQueryId;
+  /// ED priority: earlier deadline is served first.
+  SimTime deadline = kNoDeadline;
+  /// Absolute page address of the first page of the access.
+  PageCount start_page = 0;
+  /// Number of consecutive pages transferred.
+  PageCount pages = 1;
+  bool is_write = false;
+  /// Invoked at completion time. Dropped if the query was cancelled.
+  std::function<void()> on_complete;
+};
+
+class Disk {
+ public:
+  Disk(sim::Simulator* sim, const DiskParams& params, DiskId id);
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Enqueues a request; service starts immediately if the disk is idle.
+  void Submit(DiskRequest request);
+
+  /// Removes all queued requests belonging to `query` and drops the
+  /// completion callback of an in-service request of that query (the
+  /// mechanical access itself still finishes). Returns the number of
+  /// queued requests removed.
+  int64_t CancelQuery(QueryId query);
+
+  /// Fraction of time the disk was busy since construction.
+  double Utilization(SimTime now) const { return busy_.Average(now); }
+  /// Total busy seconds since construction (windowed utilizations are
+  /// computed by differencing snapshots of this integral).
+  double busy_seconds(SimTime now) const { return busy_.Integral(now); }
+
+  DiskId id() const { return id_; }
+  const DiskGeometry& geometry() const { return geometry_; }
+  Cylinder head() const { return head_; }
+  bool busy() const { return in_service_; }
+  size_t queue_length() const { return queue_.size(); }
+
+  /// Lifetime counters, for metrics and tests.
+  int64_t completed_requests() const { return completed_requests_; }
+  int64_t completed_pages() const { return completed_pages_; }
+  int64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  /// Picks the next request per ED + elevator and starts service.
+  void StartNext();
+  void OnServiceComplete();
+
+  /// Chooses among `candidates` (iterators into queue_) by elevator order.
+  std::list<DiskRequest>::iterator PickByElevator();
+
+  sim::Simulator* sim_;
+  DiskGeometry geometry_;
+  DiskCache cache_;
+  DiskId id_;
+
+  std::list<DiskRequest> queue_;
+  bool in_service_ = false;
+  DiskRequest current_;
+  bool current_cancelled_ = false;
+
+  Cylinder head_ = 0;
+  bool sweep_up_ = true;  // elevator direction
+
+  stats::TimeWeightedAverage busy_;
+  int64_t completed_requests_ = 0;
+  int64_t completed_pages_ = 0;
+  int64_t cache_hits_ = 0;
+};
+
+}  // namespace rtq::model
+
+#endif  // RTQ_MODEL_DISK_H_

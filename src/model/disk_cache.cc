@@ -1,0 +1,42 @@
+#include "model/disk_cache.h"
+
+#include "common/check.h"
+
+namespace rtq::model {
+
+DiskCache::DiskCache(PageCount capacity_pages) : capacity_(capacity_pages) {
+  RTQ_CHECK_MSG(capacity_pages >= 0, "cache capacity must be >= 0");
+}
+
+bool DiskCache::Contains(PageCount start, PageCount pages) const {
+  if (pages <= 0) return true;
+  // A request is a cache hit only when one extent covers it entirely;
+  // track buffers do not stitch ranges together.
+  for (const Extent& e : extents_) {
+    if (start >= e.start && start + pages <= e.start + e.pages) return true;
+  }
+  return false;
+}
+
+void DiskCache::Insert(PageCount start, PageCount pages) {
+  if (capacity_ == 0 || pages <= 0) return;
+  if (pages > capacity_) {
+    // Keep only the tail of the range — the last pages to stream past the
+    // head are the ones still buffered.
+    start += pages - capacity_;
+    pages = capacity_;
+  }
+  while (cached_pages_ + pages > capacity_ && !extents_.empty()) {
+    cached_pages_ -= extents_.front().pages;
+    extents_.pop_front();
+  }
+  extents_.push_back(Extent{start, pages});
+  cached_pages_ += pages;
+}
+
+void DiskCache::Invalidate() {
+  extents_.clear();
+  cached_pages_ = 0;
+}
+
+}  // namespace rtq::model

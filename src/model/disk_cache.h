@@ -1,0 +1,51 @@
+// Per-disk prefetch cache (paper Section 4.2: "Each disk has a 256-KByte
+// cache for use in prefetching pages").
+//
+// Sequential block reads load BlockSize pages into the cache; later reads
+// that are fully covered by cached pages are served at cache-transfer
+// speed instead of incurring a mechanical access. Replacement is LRU over
+// whole prefetch ranges, which is how track buffers behave (the cache
+// holds a handful of recently-read extents, not arbitrary page sets).
+
+#ifndef RTQ_MODEL_DISK_CACHE_H_
+#define RTQ_MODEL_DISK_CACHE_H_
+
+#include <deque>
+
+#include "common/types.h"
+
+namespace rtq::model {
+
+class DiskCache {
+ public:
+  /// `capacity_pages` == 0 disables the cache entirely.
+  explicit DiskCache(PageCount capacity_pages);
+
+  /// True when every page of [start, start+pages) is cached.
+  bool Contains(PageCount start, PageCount pages) const;
+
+  /// Records that [start, start+pages) was read from the media. Evicts the
+  /// oldest extents until the new range fits.
+  void Insert(PageCount start, PageCount pages);
+
+  /// Drops all cached extents (e.g. after a write to the disk, to keep the
+  /// model conservative about write-through consistency).
+  void Invalidate();
+
+  PageCount capacity() const { return capacity_; }
+  PageCount cached_pages() const { return cached_pages_; }
+
+ private:
+  struct Extent {
+    PageCount start;
+    PageCount pages;
+  };
+
+  PageCount capacity_;
+  PageCount cached_pages_ = 0;
+  std::deque<Extent> extents_;  // front = oldest
+};
+
+}  // namespace rtq::model
+
+#endif  // RTQ_MODEL_DISK_CACHE_H_

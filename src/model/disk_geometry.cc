@@ -1,0 +1,62 @@
+#include "model/disk_geometry.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace rtq::model {
+
+Status DiskParams::Validate() const {
+  if (seek_factor < 0.0)
+    return Status::InvalidArgument("seek_factor must be >= 0");
+  if (rotation_time <= 0.0)
+    return Status::InvalidArgument("rotation_time must be > 0");
+  if (num_cylinders <= 0)
+    return Status::InvalidArgument("num_cylinders must be > 0");
+  if (cylinder_size <= 0)
+    return Status::InvalidArgument("cylinder_size must be > 0");
+  if (track_size <= 0 || track_size > cylinder_size ||
+      cylinder_size % track_size != 0)
+    return Status::InvalidArgument(
+        "track_size must divide cylinder_size and be positive");
+  if (cache_pages < 0)
+    return Status::InvalidArgument("cache_pages must be >= 0");
+  return Status::Ok();
+}
+
+DiskGeometry::DiskGeometry(const DiskParams& params) : params_(params) {
+  RTQ_CHECK_MSG(params.Validate().ok(), "invalid disk parameters");
+}
+
+Cylinder DiskGeometry::CylinderOf(PageCount page) const {
+  RTQ_DCHECK(page >= 0);
+  Cylinder cyl = page / params_.cylinder_size;
+  RTQ_DCHECK(cyl < params_.num_cylinders);
+  return cyl;
+}
+
+SimTime DiskGeometry::SeekTime(Cylinder from, Cylinder to) const {
+  int64_t dist = std::llabs(to - from);
+  if (dist == 0) return 0.0;
+  return params_.seek_factor * std::sqrt(static_cast<double>(dist));
+}
+
+SimTime DiskGeometry::RotationalDelay() const {
+  return params_.rotation_time / 2.0;
+}
+
+SimTime DiskGeometry::TransferTime(PageCount pages) const {
+  RTQ_DCHECK(pages >= 0);
+  // One rotation streams one track past the head.
+  return params_.rotation_time * static_cast<double>(pages) /
+         static_cast<double>(params_.track_size);
+}
+
+SimTime DiskGeometry::AccessTime(Cylinder head, PageCount start_page,
+                                 PageCount pages) const {
+  return SeekTime(head, CylinderOf(start_page)) + RotationalDelay() +
+         TransferTime(pages);
+}
+
+}  // namespace rtq::model

@@ -1,0 +1,52 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace rtq::sim {
+
+EventId EventQueue::Schedule(SimTime when, Callback cb) {
+  RTQ_CHECK_MSG(when == when, "event time must not be NaN");  // NaN check
+  EventId id = next_id_++;
+  heap_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::SkimCancelled() {
+  while (!heap_.empty() &&
+         callbacks_.find(heap_.top().id) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::PeekTime() {
+  SkimCancelled();
+  RTQ_CHECK_MSG(!heap_.empty(), "PeekTime on empty queue");
+  return heap_.top().time;
+}
+
+std::pair<SimTime, EventQueue::Callback> EventQueue::Pop() {
+  SkimCancelled();
+  RTQ_CHECK_MSG(!heap_.empty(), "Pop on empty queue");
+  Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  RTQ_DCHECK(it != callbacks_.end());
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  --live_count_;
+  return {top.time, std::move(cb)};
+}
+
+}  // namespace rtq::sim

@@ -1,0 +1,79 @@
+// Calendar of pending simulation events.
+//
+// A binary min-heap keyed on (time, sequence-number): events at equal
+// simulated times fire in scheduling order, which makes runs fully
+// deterministic. Cancellation is lazy — cancelled entries are tombstoned
+// and skipped at pop time — so Cancel() is O(1) and the heap never needs
+// random-access deletion.
+
+#ifndef RTQ_SIM_EVENT_QUEUE_H_
+#define RTQ_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rtq::sim {
+
+/// Opaque token identifying a scheduled event; used to cancel it.
+using EventId = uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `cb` to fire at absolute simulated time `when`.
+  EventId Schedule(SimTime when, Callback cb);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  /// True if no live (non-cancelled) events remain.
+  bool Empty() const { return live_count_ == 0; }
+
+  /// Number of live events.
+  size_t Size() const { return live_count_; }
+
+  /// Time of the earliest live event. Requires !Empty().
+  SimTime PeekTime();
+
+  /// Removes and returns the earliest live event. Requires !Empty().
+  /// The returned pair is (time, callback).
+  std::pair<SimTime, Callback> Pop();
+
+  /// Total events ever scheduled (live + fired + cancelled); for stats.
+  uint64_t total_scheduled() const { return next_id_ - 1; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  /// Drops cancelled entries from the heap top.
+  void SkimCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  EventId next_id_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace rtq::sim
+
+#endif  // RTQ_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,46 @@
+#include "sim/simulator.h"
+
+namespace rtq::sim {
+
+uint64_t Simulator::RunUntil(SimTime until) {
+  uint64_t count = 0;
+  stop_requested_ = false;
+  while (!events_.Empty() && !stop_requested_) {
+    if (events_.PeekTime() > until) break;
+    auto [when, cb] = events_.Pop();
+    RTQ_DCHECK(when >= now_);
+    now_ = when;
+    cb();
+    ++dispatched_;
+    ++count;
+  }
+  // Advance the clock to the horizon so repeated bounded runs compose.
+  if (now_ < until) now_ = until;
+  return count;
+}
+
+uint64_t Simulator::RunToCompletion() {
+  uint64_t count = 0;
+  stop_requested_ = false;
+  while (!events_.Empty() && !stop_requested_) {
+    auto [when, cb] = events_.Pop();
+    RTQ_DCHECK(when >= now_);
+    now_ = when;
+    cb();
+    ++dispatched_;
+    ++count;
+  }
+  return count;
+}
+
+bool Simulator::Step() {
+  if (events_.Empty()) return false;
+  auto [when, cb] = events_.Pop();
+  RTQ_DCHECK(when >= now_);
+  now_ = when;
+  cb();
+  ++dispatched_;
+  return true;
+}
+
+}  // namespace rtq::sim

@@ -1,0 +1,45 @@
+#include "stats/batch_means.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/normal.h"
+
+namespace rtq::stats {
+
+BatchMeans::BatchMeans(int64_t batch_size) : batch_size_(batch_size) {
+  RTQ_CHECK_MSG(batch_size > 0, "batch size must be positive");
+}
+
+void BatchMeans::Add(double x) {
+  ++observations_;
+  batch_sum_ += x;
+  if (++in_batch_ == batch_size_) {
+    batch_stats_.Add(batch_sum_ / static_cast<double>(batch_size_));
+    batch_sum_ = 0.0;
+    in_batch_ = 0;
+  }
+}
+
+void BatchMeans::Reset() {
+  observations_ = 0;
+  in_batch_ = 0;
+  batch_sum_ = 0.0;
+  batch_stats_.Reset();
+}
+
+ConfidenceInterval BatchMeans::Interval(double confidence) const {
+  RTQ_CHECK_MSG(confidence > 0.0 && confidence < 1.0,
+                "confidence must be in (0,1)");
+  ConfidenceInterval ci;
+  ci.num_batches = batch_stats_.count();
+  if (ci.num_batches == 0) return ci;
+  ci.mean = batch_stats_.mean();
+  if (ci.num_batches < 2) return ci;
+  double z = NormalQuantile(0.5 + confidence / 2.0);
+  ci.half_width = z * batch_stats_.stddev() /
+                  std::sqrt(static_cast<double>(ci.num_batches));
+  return ci;
+}
+
+}  // namespace rtq::stats

@@ -1,0 +1,56 @@
+#include "stats/large_sample_test.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "stats/normal.h"
+
+namespace rtq::stats {
+
+double ZStatistic(const RunningStats& sample, double mu0) {
+  if (sample.count() < 2) return 0.0;
+  double s = sample.stddev();
+  double diff = sample.mean() - mu0;
+  if (s == 0.0) {
+    // Degenerate sample: every observation equals the mean. Treat any
+    // nonzero difference as infinitely significant.
+    if (diff == 0.0) return 0.0;
+    return diff > 0.0 ? std::numeric_limits<double>::infinity()
+                      : -std::numeric_limits<double>::infinity();
+  }
+  return diff / (s / std::sqrt(static_cast<double>(sample.count())));
+}
+
+bool MeanExceeds(const RunningStats& sample, double mu0, double confidence) {
+  RTQ_CHECK_MSG(confidence > 0.0 && confidence < 1.0,
+                "confidence must be in (0,1)");
+  if (sample.count() < 2) return false;
+  double z_crit = NormalQuantile(confidence);
+  return ZStatistic(sample, mu0) > z_crit;
+}
+
+bool TwoSampleMeansDiffer(const RunningStats& a, const RunningStats& b,
+                          double confidence) {
+  RTQ_CHECK_MSG(confidence > 0.0 && confidence < 1.0,
+                "confidence must be in (0,1)");
+  if (a.count() < 2 || b.count() < 2) return false;
+  double se2 = a.variance() / static_cast<double>(a.count()) +
+               b.variance() / static_cast<double>(b.count());
+  double diff = a.mean() - b.mean();
+  if (se2 <= 0.0) return diff != 0.0;
+  double z = diff / std::sqrt(se2);
+  double z_crit = NormalQuantile(0.5 + confidence / 2.0);
+  return std::fabs(z) > z_crit;
+}
+
+bool MeanDiffersFrom(const RunningStats& sample, double mu0,
+                     double confidence) {
+  RTQ_CHECK_MSG(confidence > 0.0 && confidence < 1.0,
+                "confidence must be in (0,1)");
+  if (sample.count() < 2) return false;
+  double z_crit = NormalQuantile(0.5 + confidence / 2.0);
+  return std::fabs(ZStatistic(sample, mu0)) > z_crit;
+}
+
+}  // namespace rtq::stats

@@ -1,0 +1,42 @@
+// Large-sample z-tests [Devo91, pp. 283-301], as used by PMM.
+//
+// PMM runs two kinds of tests (paper Sections 3.2 and 3.3):
+//  * adaptation tests at AdaptConfLevel (default 95%): "is the mean
+//    admission waiting time significantly positive?", "is the mean slack
+//    (time constraint - execution time) significantly positive?"
+//  * workload-change tests at ChangeConfLevel (default 99%): "does the
+//    current batch mean of a workload characteristic differ from the last
+//    observed value?"
+
+#ifndef RTQ_STATS_LARGE_SAMPLE_TEST_H_
+#define RTQ_STATS_LARGE_SAMPLE_TEST_H_
+
+#include "stats/running_stats.h"
+
+namespace rtq::stats {
+
+/// One-sided test of H0: mean <= mu0 against H1: mean > mu0.
+/// Returns true when H0 is rejected at `confidence` (e.g. 0.95).
+/// With fewer than 2 observations the test cannot reject.
+bool MeanExceeds(const RunningStats& sample, double mu0, double confidence);
+
+/// Two-sided test of H0: mean == mu0 against H1: mean != mu0.
+/// Returns true when H0 is rejected at `confidence` (e.g. 0.99).
+bool MeanDiffersFrom(const RunningStats& sample, double mu0,
+                     double confidence);
+
+/// The underlying z statistic, (mean - mu0) / (s / sqrt(n)); 0 when the
+/// sample is degenerate (n < 2 or zero variance with mean == mu0).
+double ZStatistic(const RunningStats& sample, double mu0);
+
+/// Two-sample two-sided test of H0: mean_a == mean_b at `confidence`.
+/// Both samples contribute their standard errors; this is the correct
+/// form for PMM's workload-change detector, which compares the current
+/// batch of observations against the previous batch (treating the old
+/// batch mean as exact would grossly inflate the false-alarm rate).
+bool TwoSampleMeansDiffer(const RunningStats& a, const RunningStats& b,
+                          double confidence);
+
+}  // namespace rtq::stats
+
+#endif  // RTQ_STATS_LARGE_SAMPLE_TEST_H_

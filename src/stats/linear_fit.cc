@@ -1,0 +1,47 @@
+#include "stats/linear_fit.h"
+
+#include <cmath>
+
+namespace rtq::stats {
+
+void LinearFit::Add(double x, double y) {
+  ++k_;
+  sx_ += x;
+  sxx_ += x * x;
+  sy_ += y;
+  sxy_ += x * y;
+}
+
+void LinearFit::Reset() {
+  k_ = 0;
+  sx_ = sxx_ = sy_ = sxy_ = 0.0;
+}
+
+bool LinearFit::CanFit() const {
+  if (k_ < 2) return false;
+  double n = static_cast<double>(k_);
+  double denom = n * sxx_ - sx_ * sx_;
+  // Relative tolerance: all-equal x values give denom == 0 up to rounding.
+  return std::fabs(denom) > 1e-12 * (1.0 + std::fabs(n * sxx_));
+}
+
+double LinearFit::slope() const {
+  if (!CanFit()) return 0.0;
+  double n = static_cast<double>(k_);
+  return (n * sxy_ - sx_ * sy_) / (n * sxx_ - sx_ * sx_);
+}
+
+double LinearFit::intercept() const {
+  if (k_ == 0) return 0.0;
+  double n = static_cast<double>(k_);
+  if (!CanFit()) return sy_ / n;
+  return (sy_ - slope() * sx_) / n;
+}
+
+double LinearFit::ValueAt(double x) const {
+  if (k_ == 0) return 0.0;
+  if (!CanFit()) return sy_ / static_cast<double>(k_);
+  return slope() * x + intercept();
+}
+
+}  // namespace rtq::stats

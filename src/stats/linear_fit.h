@@ -1,0 +1,44 @@
+// Incremental straight-line least squares [Drap81].
+//
+// PMM's resource-utilization heuristic fits utilization = f(MPL) as a
+// straight line over all observed <util_i, mpl_i> pairs and reads the
+// "average utilization at the current MPL" off the fitted line (paper
+// Section 3.1.2). The fit keeps only the five moment sums the paper lists:
+// k, sum(x), sum(x^2), sum(y), sum(x*y).
+
+#ifndef RTQ_STATS_LINEAR_FIT_H_
+#define RTQ_STATS_LINEAR_FIT_H_
+
+#include <cstdint>
+
+namespace rtq::stats {
+
+class LinearFit {
+ public:
+  /// Adds the observation (x, y).
+  void Add(double x, double y);
+
+  /// Discards all observations (PMM does this on workload change).
+  void Reset();
+
+  int64_t count() const { return k_; }
+
+  /// True when slope/intercept are well-defined: at least two points with
+  /// distinct x values.
+  bool CanFit() const;
+
+  double slope() const;
+  double intercept() const;
+
+  /// Fitted value at x. Falls back to the mean of y when the line is
+  /// degenerate (all x equal), and to 0 with no data.
+  double ValueAt(double x) const;
+
+ private:
+  int64_t k_ = 0;
+  double sx_ = 0.0, sxx_ = 0.0, sy_ = 0.0, sxy_ = 0.0;
+};
+
+}  // namespace rtq::stats
+
+#endif  // RTQ_STATS_LINEAR_FIT_H_

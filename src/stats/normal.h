@@ -1,0 +1,22 @@
+// Standard-normal distribution helpers.
+//
+// PMM's statistical machinery [Devo91] needs z quantiles for its
+// large-sample tests (95% adaptation tests, 99% workload-change tests) and
+// for batch-means confidence intervals. We implement Phi and its inverse
+// (Acklam's rational approximation, |error| < 1.15e-9) rather than
+// hard-coding the two table values, so any confidence level is usable.
+
+#ifndef RTQ_STATS_NORMAL_H_
+#define RTQ_STATS_NORMAL_H_
+
+namespace rtq::stats {
+
+/// Standard normal CDF Phi(x).
+double NormalCdf(double x);
+
+/// Inverse standard normal CDF; p must lie in (0, 1).
+double NormalQuantile(double p);
+
+}  // namespace rtq::stats
+
+#endif  // RTQ_STATS_NORMAL_H_

@@ -1,0 +1,129 @@
+#include "stats/quadratic_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtq::stats {
+
+const char* CurveTypeName(CurveType type) {
+  switch (type) {
+    case CurveType::kBowl:
+      return "bowl";
+    case CurveType::kDecreasing:
+      return "decreasing";
+    case CurveType::kIncreasing:
+      return "increasing";
+    case CurveType::kHill:
+      return "hill";
+    case CurveType::kUndetermined:
+      return "undetermined";
+  }
+  return "?";
+}
+
+void QuadraticFit::Add(double x, double y) {
+  if (k_ == 0) {
+    min_x_ = max_x_ = x;
+  } else {
+    min_x_ = std::min(min_x_, x);
+    max_x_ = std::max(max_x_, x);
+  }
+  ++k_;
+  double x2 = x * x;
+  sx_ += x;
+  sx2_ += x2;
+  sx3_ += x2 * x;
+  sx4_ += x2 * x2;
+  sy_ += y;
+  sxy_ += x * y;
+  sx2y_ += x2 * y;
+}
+
+void QuadraticFit::Reset() {
+  fitted_ = false;
+  k_ = 0;
+  min_x_ = max_x_ = 0.0;
+  sx_ = sx2_ = sx3_ = sx4_ = 0.0;
+  sy_ = sxy_ = sx2y_ = 0.0;
+  a_ = b_ = c_ = 0.0;
+}
+
+bool QuadraticFit::Fit() {
+  if (k_ < 3) return false;
+
+  // Normal equations, ordered [x^2, x, 1] so m[0][0] carries the largest
+  // moments for pivoting:
+  //   | sx4 sx3 sx2 | |a|   | sx2y |
+  //   | sx3 sx2 sx  | |b| = | sxy  |
+  //   | sx2 sx  k   | |c|   | sy   |
+  double m[3][4] = {
+      {sx4_, sx3_, sx2_, sx2y_},
+      {sx3_, sx2_, sx_, sxy_},
+      {sx2_, sx_, static_cast<double>(k_), sy_},
+  };
+
+  // Gaussian elimination with partial pivoting.
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < 3; ++row) {
+      if (std::fabs(m[row][col]) > std::fabs(m[pivot][col])) pivot = row;
+    }
+    if (std::fabs(m[pivot][col]) < 1e-12) return false;  // singular
+    if (pivot != col) std::swap(m[pivot], m[col]);
+    for (int row = col + 1; row < 3; ++row) {
+      double f = m[row][col] / m[col][col];
+      for (int j = col; j < 4; ++j) m[row][j] -= f * m[col][j];
+    }
+  }
+  double sol[3];
+  for (int row = 2; row >= 0; --row) {
+    double acc = m[row][3];
+    for (int j = row + 1; j < 3; ++j) acc -= m[row][j] * sol[j];
+    sol[row] = acc / m[row][row];
+  }
+  a_ = sol[0];
+  b_ = sol[1];
+  c_ = sol[2];
+  if (!std::isfinite(a_) || !std::isfinite(b_) || !std::isfinite(c_)) {
+    return false;
+  }
+  fitted_ = true;
+  return true;
+}
+
+double QuadraticFit::Vertex() const {
+  if (a_ == 0.0) return 0.0;
+  return -b_ / (2.0 * a_);
+}
+
+CurveType QuadraticFit::Classify() const {
+  if (!fitted_) return CurveType::kUndetermined;
+
+  // Treat near-zero curvature as a straight line. The threshold is scaled
+  // by the magnitude of the linear term over the tried range so the
+  // classification is invariant to the units of y.
+  double span = std::max(1.0, max_x_ - min_x_);
+  double curvature_scale = std::fabs(a_) * span * span;
+  double slope_scale = std::fabs(b_) * span;
+  bool effectively_linear =
+      curvature_scale < 1e-9 * std::max(1.0, slope_scale + std::fabs(c_));
+
+  if (effectively_linear) {
+    if (b_ < 0.0) return CurveType::kDecreasing;
+    if (b_ > 0.0) return CurveType::kIncreasing;
+    return CurveType::kHill;  // flat: no information, treat as failure
+  }
+
+  double vertex = Vertex();
+  if (a_ > 0.0) {
+    if (vertex <= min_x_) return CurveType::kIncreasing;
+    if (vertex >= max_x_) return CurveType::kDecreasing;
+    return CurveType::kBowl;
+  }
+  // a < 0: concave down.
+  if (vertex <= min_x_) return CurveType::kDecreasing;
+  if (vertex >= max_x_) return CurveType::kIncreasing;
+  return CurveType::kHill;
+}
+
+}  // namespace rtq::stats

@@ -1,0 +1,80 @@
+// Incremental quadratic least squares with curve-shape classification.
+//
+// This is the heart of PMM's miss ratio projection (paper Section 3.1.1):
+// miss_ratio = a*mpl^2 + b*mpl + c fitted over all observed <miss, mpl>
+// pairs, keeping only the eight moment sums the paper enumerates
+// (k, sum mpl, sum mpl^2, sum mpl^3, sum mpl^4, sum miss, sum mpl*miss,
+// sum mpl^2*miss). After each fit the curve is classified over the range
+// of MPLs tried so far:
+//
+//   Type 1 "bowl"      — interior minimum; target the vertex.
+//   Type 2 decreasing  — optimum above the tried range.
+//   Type 3 increasing  — optimum below the tried range.
+//   Type 4 "hill"      — fit is noise; fall back to the RU heuristic.
+
+#ifndef RTQ_STATS_QUADRATIC_FIT_H_
+#define RTQ_STATS_QUADRATIC_FIT_H_
+
+#include <cstdint>
+
+namespace rtq::stats {
+
+enum class CurveType {
+  kBowl = 1,       ///< Type 1: concave-up with interior minimum.
+  kDecreasing = 2, ///< Type 2: monotonically decreasing over tried range.
+  kIncreasing = 3, ///< Type 3: monotonically increasing over tried range.
+  kHill = 4,       ///< Type 4: concave-down with interior maximum (noise).
+  kUndetermined = 0, ///< Too few / collinear observations to fit.
+};
+
+const char* CurveTypeName(CurveType type);
+
+class QuadraticFit {
+ public:
+  /// Adds the observation (x, y) = (mpl, miss ratio).
+  void Add(double x, double y);
+
+  /// Discards all observations.
+  void Reset();
+
+  int64_t count() const { return k_; }
+
+  /// Smallest / largest x observed so far (0 when empty).
+  double min_x() const { return k_ > 0 ? min_x_ : 0.0; }
+  double max_x() const { return k_ > 0 ? max_x_ : 0.0; }
+
+  /// Attempts the least-squares solve. Requires >= 3 observations spanning
+  /// >= 3 distinct x values; returns false (leaving outputs untouched)
+  /// when the normal equations are singular.
+  bool Fit();
+
+  /// Coefficients of y = a x^2 + b x + c from the last successful Fit().
+  double a() const { return a_; }
+  double b() const { return b_; }
+  double c() const { return c_; }
+
+  /// Fitted value at x (last successful Fit()).
+  double ValueAt(double x) const { return a_ * x * x + b_ * x + c_; }
+
+  /// x-coordinate of the extremum -b/(2a); only meaningful when |a| is not
+  /// tiny (callers should consult Classify()).
+  double Vertex() const;
+
+  /// Classifies the most recently fitted curve over [min_x, max_x].
+  /// Returns kUndetermined when Fit() has not succeeded.
+  CurveType Classify() const;
+
+ private:
+  bool fitted_ = false;
+  int64_t k_ = 0;
+  double min_x_ = 0.0, max_x_ = 0.0;
+  // Moment sums (the only state the paper requires PMM to keep).
+  double sx_ = 0.0, sx2_ = 0.0, sx3_ = 0.0, sx4_ = 0.0;
+  double sy_ = 0.0, sxy_ = 0.0, sx2y_ = 0.0;
+  // Last solved coefficients.
+  double a_ = 0.0, b_ = 0.0, c_ = 0.0;
+};
+
+}  // namespace rtq::stats
+
+#endif  // RTQ_STATS_QUADRATIC_FIT_H_

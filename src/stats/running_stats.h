@@ -1,0 +1,43 @@
+// Welford-style running mean/variance accumulator.
+//
+// Used throughout the simulator for per-batch observation streams (waiting
+// times, execution times, workload characteristics) that feed PMM's
+// large-sample tests and the reported averages.
+
+#ifndef RTQ_STATS_RUNNING_STATS_H_
+#define RTQ_STATS_RUNNING_STATS_H_
+
+#include <cstdint>
+
+namespace rtq::stats {
+
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Removes all state.
+  void Reset();
+
+  /// Merges another accumulator into this one (parallel-batch merge).
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  /// Mean of the observations; 0 when empty.
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const;
+  /// Square root of variance().
+  double stddev() const;
+  /// Sum of all observations.
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace rtq::stats
+
+#endif  // RTQ_STATS_RUNNING_STATS_H_

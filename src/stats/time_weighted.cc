@@ -1,0 +1,42 @@
+#include "stats/time_weighted.h"
+
+#include "common/check.h"
+
+namespace rtq::stats {
+
+void TimeWeightedAverage::Start(SimTime start, double value) {
+  window_start_ = start;
+  last_update_ = start;
+  value_ = value;
+  integral_ = 0.0;
+  started_ = true;
+}
+
+void TimeWeightedAverage::Update(SimTime now, double value) {
+  RTQ_CHECK_MSG(started_, "Update before Start");
+  RTQ_CHECK_MSG(now >= last_update_, "time went backwards");
+  integral_ += value_ * (now - last_update_);
+  last_update_ = now;
+  value_ = value;
+}
+
+double TimeWeightedAverage::Integral(SimTime now) const {
+  RTQ_CHECK_MSG(started_, "Integral before Start");
+  return integral_ + value_ * (now - last_update_);
+}
+
+double TimeWeightedAverage::Average(SimTime now) const {
+  RTQ_CHECK_MSG(started_, "Average before Start");
+  SimTime elapsed = now - window_start_;
+  if (elapsed <= 0.0) return value_;
+  return Integral(now) / elapsed;
+}
+
+void TimeWeightedAverage::ResetWindow(SimTime now) {
+  RTQ_CHECK_MSG(started_, "ResetWindow before Start");
+  Update(now, value_);
+  window_start_ = now;
+  integral_ = 0.0;
+}
+
+}  // namespace rtq::stats

@@ -1,0 +1,44 @@
+// Time-weighted average of a piecewise-constant signal.
+//
+// The paper's "observed MPL" (Figures 5, 10) and the resource utilizations
+// are time averages: the signal holds a value for an interval of simulated
+// time and the metric is the integral divided by elapsed time.
+
+#ifndef RTQ_STATS_TIME_WEIGHTED_H_
+#define RTQ_STATS_TIME_WEIGHTED_H_
+
+#include "common/types.h"
+
+namespace rtq::stats {
+
+class TimeWeightedAverage {
+ public:
+  /// Starts tracking at time `start` with initial value `value`.
+  void Start(SimTime start, double value);
+
+  /// Records that the signal changed to `value` at time `now`.
+  void Update(SimTime now, double value);
+
+  /// Time-weighted mean over [start, now]. Requires Start() was called.
+  double Average(SimTime now) const;
+
+  /// Integral of the signal over [window_start, now], assuming the caller
+  /// reset at window_start; used for per-batch utilization readings.
+  double Integral(SimTime now) const;
+
+  /// Restarts the accumulation window at `now`, keeping the current value.
+  void ResetWindow(SimTime now);
+
+  double current_value() const { return value_; }
+
+ private:
+  SimTime window_start_ = 0.0;
+  SimTime last_update_ = 0.0;
+  double value_ = 0.0;
+  double integral_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace rtq::stats
+
+#endif  // RTQ_STATS_TIME_WEIGHTED_H_

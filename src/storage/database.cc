@@ -1,0 +1,126 @@
+#include "storage/database.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "common/check.h"
+
+namespace rtq::storage {
+
+Status DatabaseSpec::Validate(const model::DiskParams& disk) const {
+  if (groups.empty())
+    return Status::InvalidArgument("database needs at least one group");
+  if (num_disks <= 0)
+    return Status::InvalidArgument("num_disks must be > 0");
+  PageCount per_disk_total = 0;
+  for (const RelationGroupSpec& g : groups) {
+    if (g.rel_per_disk <= 0)
+      return Status::InvalidArgument("rel_per_disk must be > 0");
+    if (g.min_pages <= 0 || g.max_pages < g.min_pages)
+      return Status::InvalidArgument("invalid relation size range");
+    // Upper bound on the group's footprint per disk.
+    per_disk_total += static_cast<PageCount>(g.rel_per_disk) * g.max_pages;
+  }
+  if (per_disk_total > disk.capacity())
+    return Status::OutOfRange(
+        "relations exceed disk capacity (" +
+        std::to_string(per_disk_total) + " > " +
+        std::to_string(disk.capacity()) + " pages)");
+  return Status::Ok();
+}
+
+StatusOr<Database> Database::Create(const DatabaseSpec& spec,
+                                    const model::DiskParams& disk_params,
+                                    Rng* rng) {
+  RTQ_CHECK(rng != nullptr);
+  RTQ_RETURN_IF_ERROR(spec.Validate(disk_params));
+
+  Database db;
+  db.num_disks_ = spec.num_disks;
+  db.by_group_.resize(spec.groups.size());
+  db.area_begin_.resize(spec.num_disks);
+  db.area_end_.resize(spec.num_disks);
+
+  // Sizes per group, spaced at equal intervals across the range (the
+  // paper's example: range [100, 200] with 5 relations gives sizes
+  // 100, 125, 150, 175, 200).
+  std::vector<std::vector<PageCount>> group_sizes(spec.groups.size());
+  for (size_t g = 0; g < spec.groups.size(); ++g) {
+    const RelationGroupSpec& gs = spec.groups[g];
+    int32_t n = gs.rel_per_disk;
+    for (int32_t j = 0; j < n; ++j) {
+      PageCount size =
+          n == 1 ? (gs.min_pages + gs.max_pages) / 2
+                 : gs.min_pages + (gs.max_pages - gs.min_pages) * j / (n - 1);
+      group_sizes[g].push_back(size);
+    }
+  }
+
+  for (DiskId d = 0; d < spec.num_disks; ++d) {
+    // Gather this disk's relations (one entry per group x rel_per_disk),
+    // then shuffle them so placement order within the middle band is
+    // random, as the paper prescribes.
+    struct Pending {
+      int32_t group;
+      PageCount pages;
+    };
+    std::vector<Pending> pending;
+    for (size_t g = 0; g < spec.groups.size(); ++g) {
+      for (PageCount size : group_sizes[g]) {
+        pending.push_back(Pending{static_cast<int32_t>(g), size});
+      }
+    }
+    for (size_t i = pending.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(rng->UniformInt(0, i - 1));
+      std::swap(pending[i - 1], pending[j]);
+    }
+
+    PageCount total = 0;
+    for (const Pending& p : pending) total += p.pages;
+
+    // Centre the relation band on the middle cylinder.
+    PageCount capacity = disk_params.capacity();
+    PageCount begin = (capacity - total) / 2;
+    db.area_begin_[d] = begin;
+    db.area_end_[d] = begin + total;
+
+    PageCount cursor = begin;
+    for (const Pending& p : pending) {
+      Relation rel;
+      rel.id = static_cast<RelationId>(db.relations_.size());
+      rel.group = p.group;
+      rel.disk = d;
+      rel.start_page = cursor;
+      rel.pages = p.pages;
+      cursor += p.pages;
+      db.by_group_[p.group].push_back(rel.id);
+      db.relations_.push_back(rel);
+    }
+  }
+  return db;
+}
+
+const std::vector<RelationId>& Database::RelationsInGroup(
+    int32_t group) const {
+  RTQ_CHECK_MSG(group >= 0 && group < num_groups(), "bad group index");
+  return by_group_[group];
+}
+
+const Relation& Database::relation(RelationId id) const {
+  RTQ_CHECK_MSG(id >= 0 && id < static_cast<RelationId>(relations_.size()),
+                "bad relation id");
+  return relations_[static_cast<size_t>(id)];
+}
+
+PageCount Database::relation_area_begin(DiskId disk) const {
+  RTQ_CHECK_MSG(disk >= 0 && disk < num_disks_, "bad disk id");
+  return area_begin_[disk];
+}
+
+PageCount Database::relation_area_end(DiskId disk) const {
+  RTQ_CHECK_MSG(disk >= 0 && disk < num_disks_, "bad disk id");
+  return area_end_[disk];
+}
+
+}  // namespace rtq::storage

@@ -1,0 +1,75 @@
+// Database layout (paper Section 4.1, Table 2).
+//
+// The database consists of NumGroups groups of relations; group i has
+// RelPerDisk_i clustered relations *per disk*, with sizes chosen at equal
+// intervals from SizeRange_i. "To minimize disk head movement, all
+// relations assigned to the same disk are randomly placed on its middle
+// cylinders; temporary files are allotted either the inner or the outer
+// cylinders." The Database computes that placement and exposes lookup by
+// group for the workload source.
+
+#ifndef RTQ_STORAGE_DATABASE_H_
+#define RTQ_STORAGE_DATABASE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "model/disk_geometry.h"
+#include "storage/relation.h"
+
+namespace rtq::storage {
+
+struct RelationGroupSpec {
+  /// Number of relations from this group placed on every disk.
+  int32_t rel_per_disk = 1;
+  /// Relation sizes are spaced at equal intervals across this range
+  /// (inclusive), in pages.
+  PageCount min_pages = 100;
+  PageCount max_pages = 100;
+};
+
+struct DatabaseSpec {
+  std::vector<RelationGroupSpec> groups;
+  int32_t num_disks = 1;
+
+  Status Validate(const model::DiskParams& disk) const;
+};
+
+class Database {
+ public:
+  /// Lays out the database on `num_disks` disks with the given geometry.
+  /// `rng` drives the random middle-cylinder placement order.
+  static StatusOr<Database> Create(const DatabaseSpec& spec,
+                                   const model::DiskParams& disk_params,
+                                   Rng* rng);
+
+  const std::vector<Relation>& relations() const { return relations_; }
+
+  /// All relations belonging to `group`, across every disk.
+  const std::vector<RelationId>& RelationsInGroup(int32_t group) const;
+
+  const Relation& relation(RelationId id) const;
+
+  int32_t num_groups() const { return static_cast<int32_t>(by_group_.size()); }
+  int32_t num_disks() const { return num_disks_; }
+
+  /// First page past the relation area on `disk`; the temp allocator uses
+  /// [relation_end, capacity) and [0, relation_begin) as its arenas.
+  PageCount relation_area_begin(DiskId disk) const;
+  PageCount relation_area_end(DiskId disk) const;
+
+ private:
+  Database() = default;
+
+  int32_t num_disks_ = 0;
+  std::vector<Relation> relations_;
+  std::vector<std::vector<RelationId>> by_group_;
+  std::vector<PageCount> area_begin_;  // per disk
+  std::vector<PageCount> area_end_;    // per disk
+};
+
+}  // namespace rtq::storage
+
+#endif  // RTQ_STORAGE_DATABASE_H_

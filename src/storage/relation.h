@@ -1,0 +1,32 @@
+// A clustered relation: a contiguous page extent on one disk.
+//
+// Matches the paper's database model (Section 4.1): relations are
+// clustered, assigned whole to a single disk, and grouped into relation
+// groups from which query classes draw their operands.
+
+#ifndef RTQ_STORAGE_RELATION_H_
+#define RTQ_STORAGE_RELATION_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace rtq::storage {
+
+using RelationId = int64_t;
+
+struct Relation {
+  RelationId id = -1;
+  /// Relation group this relation belongs to (0-based).
+  int32_t group = -1;
+  /// Disk holding the (clustered) relation.
+  DiskId disk = -1;
+  /// Absolute page address of the first page on that disk.
+  PageCount start_page = 0;
+  /// Size in pages.
+  PageCount pages = 0;
+};
+
+}  // namespace rtq::storage
+
+#endif  // RTQ_STORAGE_RELATION_H_

@@ -1,0 +1,149 @@
+#include "workload/source.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "exec/external_sort.h"
+#include "exec/hash_join.h"
+#include "exec/standalone.h"
+
+namespace rtq::workload {
+
+Source::Source(sim::Simulator* sim, const storage::Database* db,
+               const WorkloadSpec& spec,
+               const exec::ExecParams& exec_params,
+               const model::DiskParams& disk_params, double mips, Rng rng,
+               Sink sink)
+    : sim_(sim),
+      db_(db),
+      spec_(spec),
+      exec_params_(exec_params),
+      disk_params_(disk_params),
+      mips_(mips),
+      sink_(std::move(sink)) {
+  RTQ_CHECK(sim != nullptr && db != nullptr);
+  RTQ_CHECK_MSG(spec_.Validate(*db).ok(), "invalid workload spec");
+  RTQ_CHECK(sink_ != nullptr);
+  class_state_.reserve(spec_.classes.size());
+  for (const QueryClassSpec& cls : spec_.classes) {
+    // Braced init evaluates the two Fork() calls left to right.
+    class_state_.push_back(
+        ClassState{cls.initially_active, 0, rng.Fork(), rng.Fork()});
+  }
+}
+
+void Source::Start() {
+  RTQ_CHECK_MSG(!started_, "Source started twice");
+  started_ = true;
+  for (size_t i = 0; i < class_state_.size(); ++i) {
+    if (class_state_[i].active)
+      ScheduleNextArrival(static_cast<int32_t>(i));
+  }
+}
+
+void Source::Activate(int32_t query_class) {
+  RTQ_CHECK(query_class >= 0 &&
+            query_class < static_cast<int32_t>(class_state_.size()));
+  ClassState& state = class_state_[query_class];
+  if (state.active) return;
+  state.active = true;
+  ++state.epoch;
+  if (started_) ScheduleNextArrival(query_class);
+}
+
+void Source::Deactivate(int32_t query_class) {
+  RTQ_CHECK(query_class >= 0 &&
+            query_class < static_cast<int32_t>(class_state_.size()));
+  ClassState& state = class_state_[query_class];
+  if (!state.active) return;
+  state.active = false;
+  ++state.epoch;  // orphans the pending arrival event
+}
+
+bool Source::active(int32_t query_class) const {
+  RTQ_CHECK(query_class >= 0 &&
+            query_class < static_cast<int32_t>(class_state_.size()));
+  return class_state_[query_class].active;
+}
+
+void Source::ScheduleNextArrival(int32_t query_class) {
+  ClassState& state = class_state_[query_class];
+  double delay =
+      state.arrivals.Exponential(spec_.classes[query_class].arrival_rate);
+  uint64_t epoch = state.epoch;
+  sim_->ScheduleAfter(delay, [this, query_class, epoch] {
+    ClassState& s = class_state_[query_class];
+    if (!s.active || s.epoch != epoch) return;  // deactivated meanwhile
+    EmitQuery(query_class);
+    ScheduleNextArrival(query_class);
+  });
+}
+
+const storage::Relation& Source::PickRelation(int32_t group, Rng* rng) {
+  const std::vector<storage::RelationId>& ids = db_->RelationsInGroup(group);
+  int64_t idx = rng->UniformInt(0, static_cast<int64_t>(ids.size()) - 1);
+  return db_->relation(ids[static_cast<size_t>(idx)]);
+}
+
+void Source::EmitQuery(int32_t query_class) {
+  const QueryClassSpec& cls = spec_.classes[query_class];
+  ClassState& state = class_state_[query_class];
+
+  exec::QueryDescriptor desc;
+  desc.id = next_id_++;
+  desc.query_class = query_class;
+  desc.type = cls.type;
+  desc.arrival = sim_->Now();
+  desc.slack_ratio =
+      state.selection.Uniform(cls.slack_min, cls.slack_max);
+
+  std::unique_ptr<exec::Operator> op;
+  exec::StandaloneEstimate est;
+
+  if (cls.type == exec::QueryType::kHashJoin) {
+    const storage::Relation& a =
+        PickRelation(cls.rel_groups[0], &state.selection);
+    const storage::Relation& b =
+        PickRelation(cls.rel_groups[1], &state.selection);
+    // The smaller relation is the inner (building) relation R.
+    const storage::Relation& r = a.pages <= b.pages ? a : b;
+    const storage::Relation& s = a.pages <= b.pages ? b : a;
+    desc.r_relation = r.id;
+    desc.s_relation = s.id;
+    desc.operand_pages = r.pages + s.pages;
+
+    exec::HashJoin::Inputs inputs;
+    inputs.r_disk = r.disk;
+    inputs.r_start = r.start_page;
+    inputs.r_pages = r.pages;
+    inputs.s_disk = s.disk;
+    inputs.s_start = s.start_page;
+    inputs.s_pages = s.pages;
+    op = std::make_unique<exec::HashJoin>(exec_params_, inputs);
+    est = exec::EstimateHashJoin(exec_params_, disk_params_, mips_, r.pages,
+                                 s.pages);
+  } else {
+    const storage::Relation& r =
+        PickRelation(cls.rel_groups[0], &state.selection);
+    desc.r_relation = r.id;
+    desc.operand_pages = r.pages;
+
+    exec::ExternalSort::Inputs inputs;
+    inputs.disk = r.disk;
+    inputs.start = r.start_page;
+    inputs.pages = r.pages;
+    op = std::make_unique<exec::ExternalSort>(exec_params_, inputs);
+    est = exec::EstimateExternalSort(exec_params_, disk_params_, mips_,
+                                     r.pages);
+  }
+
+  desc.standalone_time = est.total();
+  desc.operand_io_requests = est.io_requests;
+  desc.deadline = desc.arrival + desc.standalone_time * desc.slack_ratio;
+  desc.max_memory = op->max_memory();
+  desc.min_memory = op->min_memory();
+
+  sink_(desc, std::move(op));
+}
+
+}  // namespace rtq::workload

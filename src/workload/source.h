@@ -1,0 +1,81 @@
+// The Source module: generates the query stream (paper Figure 2, §4.1).
+//
+// For each active class, arrivals follow a Poisson process. On each
+// arrival the Source picks operand relations from the class's relation
+// groups, builds the memory-adaptive operator, estimates the stand-alone
+// time, draws a slack ratio, and assigns the firm deadline
+//
+//   Deadline = Arrival + StandAlone * SlackRatio.
+//
+// The constructed (descriptor, operator) pair is handed to the engine
+// through a sink callback. Classes can be activated/deactivated at run
+// time to drive the workload-alternation experiment.
+
+#ifndef RTQ_WORKLOAD_SOURCE_H_
+#define RTQ_WORKLOAD_SOURCE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "exec/cost_model.h"
+#include "exec/operator.h"
+#include "exec/query.h"
+#include "sim/simulator.h"
+#include "storage/database.h"
+#include "workload/workload_spec.h"
+
+namespace rtq::workload {
+
+class Source {
+ public:
+  using Sink = std::function<void(exec::QueryDescriptor,
+                                  std::unique_ptr<exec::Operator>)>;
+
+  Source(sim::Simulator* sim, const storage::Database* db,
+         const WorkloadSpec& spec, const exec::ExecParams& exec_params,
+         const model::DiskParams& disk_params, double mips, Rng rng,
+         Sink sink);
+
+  /// Begins generating arrivals for all initially-active classes.
+  void Start();
+
+  /// Enables / disables a class's arrival process at run time.
+  void Activate(int32_t query_class);
+  void Deactivate(int32_t query_class);
+  bool active(int32_t query_class) const;
+
+  int64_t generated() const { return next_id_; }
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  void ScheduleNextArrival(int32_t query_class);
+  void EmitQuery(int32_t query_class);
+  const storage::Relation& PickRelation(int32_t group, Rng* rng);
+
+  sim::Simulator* sim_;
+  const storage::Database* db_;
+  WorkloadSpec spec_;
+  exec::ExecParams exec_params_;
+  model::DiskParams disk_params_;
+  double mips_;
+  Sink sink_;
+
+  struct ClassState {
+    bool active = false;
+    /// Generation counter: bumping it orphans any scheduled arrival event
+    /// from an earlier activation period.
+    uint64_t epoch = 0;
+    Rng arrivals;   // inter-arrival stream
+    Rng selection;  // relation & slack stream
+  };
+  std::vector<ClassState> class_state_;
+  QueryId next_id_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace rtq::workload
+
+#endif  // RTQ_WORKLOAD_SOURCE_H_

@@ -1,0 +1,35 @@
+#include "workload/workload_spec.h"
+
+#include <string>
+
+namespace rtq::workload {
+
+Status WorkloadSpec::Validate(const storage::Database& db) const {
+  if (classes.empty())
+    return Status::InvalidArgument("workload needs at least one class");
+  for (size_t i = 0; i < classes.size(); ++i) {
+    const QueryClassSpec& cls = classes[i];
+    std::string tag = "class " + std::to_string(i) + ": ";
+    size_t want = cls.type == exec::QueryType::kHashJoin ? 2 : 1;
+    if (cls.rel_groups.size() != want) {
+      return Status::InvalidArgument(tag + "expected " +
+                                     std::to_string(want) +
+                                     " relation group(s)");
+    }
+    for (int32_t g : cls.rel_groups) {
+      if (g < 0 || g >= db.num_groups())
+        return Status::InvalidArgument(tag + "bad relation group " +
+                                       std::to_string(g));
+      if (db.RelationsInGroup(g).empty())
+        return Status::InvalidArgument(tag + "empty relation group " +
+                                       std::to_string(g));
+    }
+    if (cls.arrival_rate <= 0.0)
+      return Status::InvalidArgument(tag + "arrival_rate must be > 0");
+    if (cls.slack_min <= 0.0 || cls.slack_max < cls.slack_min)
+      return Status::InvalidArgument(tag + "invalid slack range");
+  }
+  return Status::Ok();
+}
+
+}  // namespace rtq::workload

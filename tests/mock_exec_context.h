@@ -1,0 +1,111 @@
+// A deterministic synchronous ExecContext for operator unit tests.
+//
+// Demands complete when the test pumps the queue; time advances by simple
+// fixed costs. Temp space is a bump allocator with free tracking so tests
+// can assert that operators release what they take.
+
+#ifndef RTQ_TESTS_MOCK_EXEC_CONTEXT_H_
+#define RTQ_TESTS_MOCK_EXEC_CONTEXT_H_
+
+#include <functional>
+#include <queue>
+#include <set>
+
+#include "exec/exec_context.h"
+
+namespace rtq::testing {
+
+class MockExecContext : public exec::ExecContext {
+ public:
+  SimTime Now() const override { return now_; }
+
+  void RunCpu(Instructions instructions,
+              std::function<void()> done) override {
+    now_ += static_cast<double>(instructions) / 40e6;
+    total_instructions += instructions;
+    pending_.push(std::move(done));
+  }
+
+  void Read(DiskId disk, PageCount start, PageCount pages,
+            std::function<void()> done) override {
+    (void)disk;
+    last_read_start = start;
+    last_read_pages = pages;
+    now_ += 0.0195 + 0.00185 * static_cast<double>(pages);
+    ++reads;
+    pages_read += pages;
+    pending_.push(std::move(done));
+  }
+
+  void Write(DiskId disk, PageCount start, PageCount pages,
+             std::function<void()> done, bool background) override {
+    (void)disk;
+    (void)start;
+    now_ += 0.0195 + 0.00185 * static_cast<double>(pages);
+    ++writes;
+    pages_written += pages;
+    if (background) ++background_writes;
+    pending_.push(std::move(done));
+  }
+
+  StatusOr<storage::TempFile> AllocateTemp(PageCount pages,
+                                           DiskId preferred) override {
+    if (fail_temp) return Status::OutOfRange("mock: temp exhausted");
+    storage::TempFile f;
+    f.disk = preferred >= 0 ? preferred : 0;
+    f.start_page = next_temp_;
+    f.pages = pages;
+    f.handle = static_cast<uint64_t>(next_temp_) + 1;
+    next_temp_ += pages;
+    live_temp_.insert(f.handle);
+    temp_allocations++;
+    return f;
+  }
+
+  void FreeTemp(const storage::TempFile& file) override {
+    live_temp_.erase(file.handle);
+  }
+
+  /// Runs one pending completion callback; false when idle.
+  bool Pump() {
+    if (pending_.empty()) return false;
+    auto cb = std::move(pending_.front());
+    pending_.pop();
+    cb();
+    return true;
+  }
+
+  /// Runs callbacks until idle or `limit` steps.
+  int64_t PumpAll(int64_t limit = 1'000'000) {
+    int64_t n = 0;
+    while (n < limit && Pump()) ++n;
+    return n;
+  }
+
+  size_t pending() const { return pending_.size(); }
+  int64_t live_temp_extents() const {
+    return static_cast<int64_t>(live_temp_.size());
+  }
+
+  // Counters the tests assert on.
+  int64_t reads = 0;
+  int64_t writes = 0;
+  int64_t background_writes = 0;
+  PageCount pages_read = 0;
+  PageCount pages_written = 0;
+  Instructions total_instructions = 0;
+  int64_t temp_allocations = 0;
+  PageCount last_read_start = -1;
+  PageCount last_read_pages = -1;
+  bool fail_temp = false;
+
+ private:
+  SimTime now_ = 0.0;
+  PageCount next_temp_ = 1'000'000;
+  std::queue<std::function<void()>> pending_;
+  std::set<uint64_t> live_temp_;
+};
+
+}  // namespace rtq::testing
+
+#endif  // RTQ_TESTS_MOCK_EXEC_CONTEXT_H_

@@ -1,0 +1,76 @@
+#include "stats/batch_means.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rtq::stats {
+namespace {
+
+TEST(BatchMeans, NoBatchesNoInterval) {
+  BatchMeans bm(10);
+  ConfidenceInterval ci = bm.Interval(0.90);
+  EXPECT_EQ(ci.num_batches, 0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(BatchMeans, PartialBatchDoesNotCount) {
+  BatchMeans bm(10);
+  for (int i = 0; i < 9; ++i) bm.Add(1.0);
+  EXPECT_EQ(bm.completed_batches(), 0);
+  bm.Add(1.0);
+  EXPECT_EQ(bm.completed_batches(), 1);
+}
+
+TEST(BatchMeans, MeanOfConstantStream) {
+  BatchMeans bm(5);
+  for (int i = 0; i < 50; ++i) bm.Add(0.25);
+  ConfidenceInterval ci = bm.Interval(0.90);
+  EXPECT_EQ(ci.num_batches, 10);
+  EXPECT_DOUBLE_EQ(ci.mean, 0.25);
+  EXPECT_NEAR(ci.half_width, 0.0, 1e-12);
+}
+
+TEST(BatchMeans, IntervalCoversTrueMean) {
+  Rng rng(8);
+  BatchMeans bm(100);
+  for (int i = 0; i < 5000; ++i) bm.Add(rng.NextDouble() < 0.3 ? 1.0 : 0.0);
+  ConfidenceInterval ci = bm.Interval(0.90);
+  EXPECT_GT(ci.num_batches, 10);
+  EXPECT_LT(ci.lower(), 0.3);
+  EXPECT_GT(ci.upper(), 0.3 - 0.05);
+  EXPECT_NEAR(ci.mean, 0.3, 0.05);
+}
+
+TEST(BatchMeans, HalfWidthShrinksWithMoreData) {
+  Rng rng(9);
+  BatchMeans small(50), large(50);
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.NextDouble();
+    small.Add(x);
+  }
+  for (int i = 0; i < 10000; ++i) {
+    large.Add(rng.NextDouble());
+  }
+  EXPECT_GT(small.Interval(0.90).half_width,
+            large.Interval(0.90).half_width);
+}
+
+TEST(BatchMeans, ResetClears) {
+  BatchMeans bm(2);
+  bm.Add(1.0);
+  bm.Add(1.0);
+  bm.Reset();
+  EXPECT_EQ(bm.completed_batches(), 0);
+  EXPECT_EQ(bm.observations(), 0);
+}
+
+TEST(BatchMeans, ObservationCount) {
+  BatchMeans bm(3);
+  for (int i = 0; i < 7; ++i) bm.Add(0.0);
+  EXPECT_EQ(bm.observations(), 7);
+  EXPECT_EQ(bm.completed_batches(), 2);
+}
+
+}  // namespace
+}  // namespace rtq::stats

@@ -1,0 +1,94 @@
+#include "buffer/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace rtq::buffer {
+namespace {
+
+TEST(BufferPool, StartsFullyUnreserved) {
+  BufferPool pool(2560);
+  EXPECT_EQ(pool.total(), 2560);
+  EXPECT_EQ(pool.reserved(), 0);
+  EXPECT_EQ(pool.unreserved(), 2560);
+  EXPECT_EQ(pool.page_cache().capacity(), 2560);
+}
+
+TEST(BufferPool, SetReservationTracksAbsolute) {
+  BufferPool pool(1000);
+  EXPECT_TRUE(pool.SetReservation(1, 300).ok());
+  EXPECT_EQ(pool.reservation_of(1), 300);
+  EXPECT_EQ(pool.reserved(), 300);
+  EXPECT_TRUE(pool.SetReservation(1, 500).ok());  // absolute, not delta
+  EXPECT_EQ(pool.reserved(), 500);
+  EXPECT_TRUE(pool.SetReservation(1, 100).ok());
+  EXPECT_EQ(pool.reserved(), 100);
+}
+
+TEST(BufferPool, RejectsOversubscription) {
+  BufferPool pool(1000);
+  EXPECT_TRUE(pool.SetReservation(1, 700).ok());
+  Status s = pool.SetReservation(2, 400);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  // The failed call must not corrupt state.
+  EXPECT_EQ(pool.reserved(), 700);
+  EXPECT_EQ(pool.reservation_of(2), 0);
+  // Growing an existing reservation within the pool is fine.
+  EXPECT_TRUE(pool.SetReservation(2, 300).ok());
+}
+
+TEST(BufferPool, RejectsNegative) {
+  BufferPool pool(100);
+  EXPECT_FALSE(pool.SetReservation(1, -5).ok());
+}
+
+TEST(BufferPool, ZeroReservationRemoves) {
+  BufferPool pool(100);
+  EXPECT_TRUE(pool.SetReservation(1, 40).ok());
+  EXPECT_EQ(pool.reservation_count(), 1);
+  EXPECT_TRUE(pool.SetReservation(1, 0).ok());
+  EXPECT_EQ(pool.reservation_count(), 0);
+  EXPECT_EQ(pool.reserved(), 0);
+}
+
+TEST(BufferPool, ReleaseAllDropsReservation) {
+  BufferPool pool(100);
+  EXPECT_TRUE(pool.SetReservation(1, 40).ok());
+  EXPECT_TRUE(pool.SetReservation(2, 30).ok());
+  pool.ReleaseAll(1);
+  EXPECT_EQ(pool.reserved(), 30);
+  pool.ReleaseAll(99);  // unknown query: no-op
+  EXPECT_EQ(pool.reserved(), 30);
+}
+
+TEST(BufferPool, LruCapacityTracksUnreserved) {
+  BufferPool pool(100);
+  for (uint64_t k = 0; k < 100; ++k) pool.page_cache().Insert(k);
+  EXPECT_EQ(pool.page_cache().size(), 100);
+  EXPECT_TRUE(pool.SetReservation(1, 60).ok());
+  // Reservation shrinks the cache area; LRU pages were evicted.
+  EXPECT_EQ(pool.page_cache().capacity(), 40);
+  EXPECT_EQ(pool.page_cache().size(), 40);
+  pool.ReleaseAll(1);
+  EXPECT_EQ(pool.page_cache().capacity(), 100);
+}
+
+TEST(BufferPool, PageKeyIsInjectiveAcrossDisks) {
+  uint64_t a = BufferPool::PageKey(0, 12345);
+  uint64_t b = BufferPool::PageKey(1, 12345);
+  uint64_t c = BufferPool::PageKey(0, 12346);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+TEST(BufferPool, FullPoolReservation) {
+  BufferPool pool(500);
+  EXPECT_TRUE(pool.SetReservation(1, 500).ok());
+  EXPECT_EQ(pool.unreserved(), 0);
+  EXPECT_EQ(pool.page_cache().capacity(), 0);
+  EXPECT_FALSE(pool.SetReservation(2, 1).ok());
+}
+
+}  // namespace
+}  // namespace rtq::buffer

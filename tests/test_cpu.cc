@@ -1,0 +1,153 @@
+#include "model/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace rtq::model {
+namespace {
+
+TEST(Cpu, SingleJobTiming) {
+  sim::Simulator sim;
+  Cpu cpu(&sim, 40.0);
+  SimTime done = -1.0;
+  cpu.Submit(CpuJob{1, 10.0, 40'000'000, [&] { done = sim.Now(); }});
+  sim.RunToCompletion();
+  EXPECT_NEAR(done, 1.0, 1e-9);  // 40M instructions at 40 MIPS
+  EXPECT_EQ(cpu.completed_jobs(), 1);
+}
+
+TEST(Cpu, ExecutionTimeHelper) {
+  sim::Simulator sim;
+  Cpu cpu(&sim, 40.0);
+  EXPECT_NEAR(cpu.ExecutionTime(40'000'000), 1.0, 1e-12);
+  EXPECT_NEAR(cpu.ExecutionTime(1000), 1000.0 / 40e6, 1e-15);
+}
+
+TEST(Cpu, EarliestDeadlineRunsFirst) {
+  sim::Simulator sim;
+  Cpu cpu(&sim, 1.0);  // 1 MIPS for easy numbers
+  std::vector<int> order;
+  cpu.Submit(CpuJob{1, 300.0, 1'000'000, [&] { order.push_back(1); }});
+  cpu.Submit(CpuJob{2, 100.0, 1'000'000, [&] { order.push_back(2); }});
+  cpu.Submit(CpuJob{3, 200.0, 1'000'000, [&] { order.push_back(3); }});
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(Cpu, PreemptionPausesRunningJob) {
+  sim::Simulator sim;
+  Cpu cpu(&sim, 1.0);
+  std::vector<std::pair<int, SimTime>> done;
+  // Long low-priority job starts alone.
+  cpu.Submit(CpuJob{1, 900.0, 10'000'000, [&] {
+    done.emplace_back(1, sim.Now());
+  }});
+  // At t=2, an urgent 3s job arrives and preempts.
+  sim.ScheduleAfter(2.0, [&] {
+    cpu.Submit(CpuJob{2, 10.0, 3'000'000, [&] {
+      done.emplace_back(2, sim.Now());
+    }});
+  });
+  sim.RunToCompletion();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].first, 2);
+  EXPECT_NEAR(done[0].second, 5.0, 1e-9);   // 2 + 3
+  EXPECT_EQ(done[1].first, 1);
+  EXPECT_NEAR(done[1].second, 13.0, 1e-9);  // 10 total work + 3 preempted
+  EXPECT_EQ(cpu.preemptions(), 1);
+}
+
+TEST(Cpu, LaterDeadlineDoesNotPreempt) {
+  sim::Simulator sim;
+  Cpu cpu(&sim, 1.0);
+  std::vector<int> order;
+  cpu.Submit(CpuJob{1, 10.0, 5'000'000, [&] { order.push_back(1); }});
+  sim.ScheduleAfter(1.0, [&] {
+    cpu.Submit(CpuJob{2, 20.0, 1'000'000, [&] { order.push_back(2); }});
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(cpu.preemptions(), 0);
+}
+
+TEST(Cpu, CancelQueryRemovesJobs) {
+  sim::Simulator sim;
+  Cpu cpu(&sim, 1.0);
+  int fired = 0;
+  cpu.Submit(CpuJob{1, 10.0, 1'000'000, [&] { ++fired; }});
+  cpu.Submit(CpuJob{2, 20.0, 1'000'000, [&] { ++fired; }});
+  cpu.Submit(CpuJob{2, 30.0, 1'000'000, [&] { ++fired; }});
+  EXPECT_EQ(cpu.CancelQuery(2), 2);
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Cpu, CancelRunningJobStartsNext) {
+  sim::Simulator sim;
+  Cpu cpu(&sim, 1.0);
+  std::vector<std::pair<int, SimTime>> done;
+  cpu.Submit(CpuJob{1, 10.0, 10'000'000, [&] {
+    done.emplace_back(1, sim.Now());
+  }});
+  cpu.Submit(CpuJob{2, 20.0, 2'000'000, [&] {
+    done.emplace_back(2, sim.Now());
+  }});
+  sim.ScheduleAfter(3.0, [&] { cpu.CancelQuery(1); });
+  sim.RunToCompletion();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].first, 2);
+  EXPECT_NEAR(done[0].second, 5.0, 1e-9);  // starts at 3, runs 2s
+}
+
+TEST(Cpu, DeadlineTieBreaksByQueryId) {
+  sim::Simulator sim;
+  Cpu cpu(&sim, 1.0);
+  std::vector<int> order;
+  cpu.Submit(CpuJob{7, 50.0, 1'000'000, [&] { order.push_back(7); }});
+  cpu.Submit(CpuJob{3, 50.0, 1'000'000, [&] { order.push_back(3); }});
+  sim.RunToCompletion();
+  // Query 7 was already running (non-preemptive among equals), then 3.
+  EXPECT_EQ(order, (std::vector<int>{7, 3}));
+}
+
+TEST(Cpu, UtilizationAccounting) {
+  sim::Simulator sim;
+  Cpu cpu(&sim, 1.0);
+  cpu.Submit(CpuJob{1, 10.0, 4'000'000, [] {}});
+  sim.RunToCompletion();
+  EXPECT_NEAR(cpu.busy_seconds(sim.Now()), 4.0, 1e-9);
+  sim.RunUntil(8.0);
+  EXPECT_NEAR(cpu.Utilization(sim.Now()), 0.5, 1e-9);
+}
+
+TEST(Cpu, ZeroInstructionJobCompletesImmediately) {
+  sim::Simulator sim;
+  Cpu cpu(&sim, 40.0);
+  bool fired = false;
+  cpu.Submit(CpuJob{1, 10.0, 0, [&] { fired = true; }});
+  sim.RunToCompletion();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+}
+
+TEST(Cpu, ManyPreemptionsConserveWork) {
+  sim::Simulator sim;
+  Cpu cpu(&sim, 1.0);
+  SimTime low_done = -1.0;
+  cpu.Submit(CpuJob{100, 1e9, 10'000'000, [&] { low_done = sim.Now(); }});
+  // Five urgent 1s jobs arrive at 1s intervals, each preempting.
+  for (int i = 1; i <= 5; ++i) {
+    sim.ScheduleAfter(2.0 * i, [&cpu, i] {
+      cpu.Submit(CpuJob{static_cast<QueryId>(i), 10.0 * i, 1'000'000, [] {}});
+    });
+  }
+  sim.RunToCompletion();
+  // Total work 10 + 5 = 15 seconds.
+  EXPECT_NEAR(low_done, 15.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rtq::model

@@ -1,0 +1,165 @@
+#include "storage/database.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace rtq::storage {
+namespace {
+
+DatabaseSpec BaselineSpec(int32_t disks = 4) {
+  DatabaseSpec spec;
+  spec.num_disks = disks;
+  RelationGroupSpec inner;
+  inner.rel_per_disk = 3;
+  inner.min_pages = 600;
+  inner.max_pages = 1800;
+  RelationGroupSpec outer;
+  outer.rel_per_disk = 3;
+  outer.min_pages = 3000;
+  outer.max_pages = 9000;
+  spec.groups = {inner, outer};
+  return spec;
+}
+
+TEST(Database, SizesAtEqualIntervals) {
+  Rng rng(1);
+  auto db = Database::Create(BaselineSpec(1), model::DiskParams(), &rng);
+  ASSERT_TRUE(db.ok());
+  std::multiset<PageCount> group0, group1;
+  for (RelationId id : db.value().RelationsInGroup(0)) {
+    group0.insert(db.value().relation(id).pages);
+  }
+  for (RelationId id : db.value().RelationsInGroup(1)) {
+    group1.insert(db.value().relation(id).pages);
+  }
+  EXPECT_EQ(group0, (std::multiset<PageCount>{600, 1200, 1800}));
+  EXPECT_EQ(group1, (std::multiset<PageCount>{3000, 6000, 9000}));
+}
+
+TEST(Database, PaperExampleFiveRelations) {
+  // "if RelPerDisk = 5 and SizeRange = [100, 200] pages, group i will
+  //  have 5 relations with sizes equal to 100, 125, 150, 175, 200".
+  DatabaseSpec spec;
+  spec.num_disks = 1;
+  RelationGroupSpec g;
+  g.rel_per_disk = 5;
+  g.min_pages = 100;
+  g.max_pages = 200;
+  spec.groups = {g};
+  Rng rng(2);
+  auto db = Database::Create(spec, model::DiskParams(), &rng);
+  ASSERT_TRUE(db.ok());
+  std::multiset<PageCount> sizes;
+  for (const Relation& r : db.value().relations()) sizes.insert(r.pages);
+  EXPECT_EQ(sizes, (std::multiset<PageCount>{100, 125, 150, 175, 200}));
+}
+
+TEST(Database, EveryDiskGetsItsShare) {
+  Rng rng(3);
+  auto db = Database::Create(BaselineSpec(4), model::DiskParams(), &rng);
+  ASSERT_TRUE(db.ok());
+  std::vector<int> per_disk(4, 0);
+  for (const Relation& r : db.value().relations()) {
+    ASSERT_GE(r.disk, 0);
+    ASSERT_LT(r.disk, 4);
+    ++per_disk[r.disk];
+  }
+  for (int count : per_disk) EXPECT_EQ(count, 6);  // 2 groups x 3
+}
+
+TEST(Database, RelationsAreContiguousAndNonOverlapping) {
+  Rng rng(4);
+  auto db = Database::Create(BaselineSpec(2), model::DiskParams(), &rng);
+  ASSERT_TRUE(db.ok());
+  for (DiskId d = 0; d < 2; ++d) {
+    std::vector<std::pair<PageCount, PageCount>> extents;
+    for (const Relation& r : db.value().relations()) {
+      if (r.disk == d) extents.emplace_back(r.start_page, r.pages);
+    }
+    std::sort(extents.begin(), extents.end());
+    for (size_t i = 1; i < extents.size(); ++i) {
+      EXPECT_GE(extents[i].first,
+                extents[i - 1].first + extents[i - 1].second);
+    }
+  }
+}
+
+TEST(Database, MiddleCylinderPlacement) {
+  Rng rng(5);
+  model::DiskParams disk;
+  auto db = Database::Create(BaselineSpec(2), disk, &rng);
+  ASSERT_TRUE(db.ok());
+  for (DiskId d = 0; d < 2; ++d) {
+    PageCount begin = db.value().relation_area_begin(d);
+    PageCount end = db.value().relation_area_end(d);
+    PageCount mid = disk.capacity() / 2;
+    EXPECT_LT(begin, mid);
+    EXPECT_GT(end, mid);
+    // Centred within ~one relation's size.
+    EXPECT_NEAR(static_cast<double>(mid - begin),
+                static_cast<double>(end - mid), 9000.0);
+  }
+}
+
+TEST(Database, PlacementOrderIsRandomized) {
+  model::DiskParams disk;
+  Rng rng1(6), rng2(7);
+  auto db1 = Database::Create(BaselineSpec(1), disk, &rng1);
+  auto db2 = Database::Create(BaselineSpec(1), disk, &rng2);
+  ASSERT_TRUE(db1.ok() && db2.ok());
+  bool any_difference = false;
+  for (size_t i = 0; i < db1.value().relations().size(); ++i) {
+    if (db1.value().relations()[i].pages !=
+        db2.value().relations()[i].pages) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Database, RejectsOversizedDatabase) {
+  DatabaseSpec spec;
+  spec.num_disks = 1;
+  RelationGroupSpec g;
+  g.rel_per_disk = 100;
+  g.min_pages = 2000;
+  g.max_pages = 2000;
+  spec.groups = {g};  // 200k pages > 135k capacity
+  Rng rng(8);
+  auto db = Database::Create(spec, model::DiskParams(), &rng);
+  EXPECT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(Database, RejectsBadSpecs) {
+  Rng rng(9);
+  DatabaseSpec empty;
+  empty.num_disks = 1;
+  EXPECT_FALSE(Database::Create(empty, model::DiskParams(), &rng).ok());
+
+  DatabaseSpec bad_range = BaselineSpec(1);
+  bad_range.groups[0].max_pages = 10;  // < min_pages
+  EXPECT_FALSE(Database::Create(bad_range, model::DiskParams(), &rng).ok());
+
+  DatabaseSpec no_disks = BaselineSpec(0);
+  EXPECT_FALSE(Database::Create(no_disks, model::DiskParams(), &rng).ok());
+}
+
+TEST(Database, SingleRelationGroupUsesMidpoint) {
+  DatabaseSpec spec;
+  spec.num_disks = 1;
+  RelationGroupSpec g;
+  g.rel_per_disk = 1;
+  g.min_pages = 100;
+  g.max_pages = 200;
+  spec.groups = {g};
+  Rng rng(10);
+  auto db = Database::Create(spec, model::DiskParams(), &rng);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().relations()[0].pages, 150);
+}
+
+}  // namespace
+}  // namespace rtq::storage

@@ -1,0 +1,160 @@
+#include "model/disk.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace rtq::model {
+namespace {
+
+DiskRequest MakeRequest(QueryId q, SimTime deadline, PageCount start,
+                        PageCount pages, std::function<void()> cb,
+                        bool write = false) {
+  DiskRequest r;
+  r.query = q;
+  r.deadline = deadline;
+  r.start_page = start;
+  r.pages = pages;
+  r.is_write = write;
+  r.on_complete = std::move(cb);
+  return r;
+}
+
+TEST(Disk, SingleRequestTiming) {
+  sim::Simulator sim;
+  DiskParams params;
+  Disk disk(&sim, params, 0);
+  SimTime done_at = -1.0;
+  PageCount start = 90 * 10;  // cylinder 10
+  disk.Submit(MakeRequest(1, 100.0, start, 6,
+                          [&] { done_at = sim.Now(); }));
+  sim.RunToCompletion();
+  DiskGeometry geom(params);
+  EXPECT_NEAR(done_at, geom.AccessTime(0, start, 6), 1e-9);
+  EXPECT_EQ(disk.completed_requests(), 1);
+  EXPECT_EQ(disk.completed_pages(), 6);
+}
+
+TEST(Disk, EarliestDeadlineServedFirst) {
+  sim::Simulator sim;
+  Disk disk(&sim, DiskParams(), 0);
+  std::vector<int> order;
+  // Queue three while the first is in service.
+  disk.Submit(MakeRequest(1, 50.0, 0, 6, [&] { order.push_back(1); }));
+  disk.Submit(MakeRequest(2, 300.0, 900, 6, [&] { order.push_back(2); }));
+  disk.Submit(MakeRequest(3, 100.0, 1800, 6, [&] { order.push_back(3); }));
+  disk.Submit(MakeRequest(4, 200.0, 2700, 6, [&] { order.push_back(4); }));
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 4, 2}));
+}
+
+TEST(Disk, ElevatorBreaksDeadlineTies) {
+  sim::Simulator sim;
+  Disk disk(&sim, DiskParams(), 0);
+  std::vector<int> order;
+  // Same deadline: elevator order by cylinder from head position 0,
+  // sweeping up.
+  disk.Submit(MakeRequest(1, 50.0, 90 * 200, 6, [&] { order.push_back(1); }));
+  disk.Submit(MakeRequest(2, 50.0, 90 * 400, 6, [&] { order.push_back(2); }));
+  disk.Submit(MakeRequest(3, 50.0, 90 * 100, 6, [&] { order.push_back(3); }));
+  disk.Submit(MakeRequest(4, 50.0, 90 * 300, 6, [&] { order.push_back(4); }));
+  sim.RunToCompletion();
+  // First request starts service immediately (head 0 -> cyl 200); the
+  // rest are tie-broken by the sweep: from cyl 200 upward: 300, 400, then
+  // reverse to 100.
+  EXPECT_EQ(order, (std::vector<int>{1, 4, 2, 3}));
+}
+
+TEST(Disk, CancelQueryRemovesQueuedRequests) {
+  sim::Simulator sim;
+  Disk disk(&sim, DiskParams(), 0);
+  int fired = 0;
+  disk.Submit(MakeRequest(1, 10.0, 0, 6, [&] { ++fired; }));
+  disk.Submit(MakeRequest(2, 20.0, 900, 6, [&] { ++fired; }));
+  disk.Submit(MakeRequest(2, 30.0, 1800, 6, [&] { ++fired; }));
+  EXPECT_EQ(disk.CancelQuery(2), 2);
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Disk, CancelInServiceDropsCallbackButFinishesAccess) {
+  sim::Simulator sim;
+  Disk disk(&sim, DiskParams(), 0);
+  int fired = 0;
+  disk.Submit(MakeRequest(1, 10.0, 0, 6, [&] { ++fired; }));
+  EXPECT_EQ(disk.CancelQuery(1), 0);  // in service, not queued
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(disk.completed_requests(), 1);  // access still completed
+}
+
+TEST(Disk, UtilizationTracksBusyTime) {
+  sim::Simulator sim;
+  DiskParams params;
+  Disk disk(&sim, params, 0);
+  disk.Submit(MakeRequest(1, 10.0, 0, 6, [] {}));
+  sim.RunToCompletion();
+  SimTime busy = DiskGeometry(params).AccessTime(0, 0, 6);
+  EXPECT_NEAR(disk.busy_seconds(sim.Now()), busy, 1e-9);
+  sim.RunUntil(sim.Now() + busy);  // idle for an equal period
+  EXPECT_NEAR(disk.Utilization(sim.Now()), 0.5, 1e-6);
+}
+
+TEST(Disk, SequentialRereadHitsPrefetchCache) {
+  sim::Simulator sim;
+  Disk disk(&sim, DiskParams(), 0);
+  disk.Submit(MakeRequest(1, 10.0, 0, 6, [] {}));
+  sim.RunToCompletion();
+  SimTime before = sim.Now();
+  disk.Submit(MakeRequest(1, 10.0, 2, 3, [] {}));  // subset of cached range
+  sim.RunToCompletion();
+  EXPECT_EQ(disk.cache_hits(), 1);
+  EXPECT_LT(sim.Now() - before, 1e-3);  // served at cache speed
+}
+
+TEST(Disk, WriteInvalidatesCache) {
+  sim::Simulator sim;
+  Disk disk(&sim, DiskParams(), 0);
+  disk.Submit(MakeRequest(1, 10.0, 0, 6, [] {}));
+  sim.RunToCompletion();
+  disk.Submit(MakeRequest(1, 10.0, 100, 6, [] {}, /*write=*/true));
+  sim.RunToCompletion();
+  disk.Submit(MakeRequest(1, 10.0, 0, 6, [] {}));
+  sim.RunToCompletion();
+  EXPECT_EQ(disk.cache_hits(), 0);
+}
+
+TEST(Disk, HeadMovesToEndOfAccess) {
+  sim::Simulator sim;
+  Disk disk(&sim, DiskParams(), 0);
+  disk.Submit(MakeRequest(1, 10.0, 90 * 7, 6, [] {}));
+  sim.RunToCompletion();
+  EXPECT_EQ(disk.head(), 7);
+}
+
+TEST(Disk, RejectsRequestsBeyondCapacity) {
+  sim::Simulator sim;
+  DiskParams params;
+  Disk disk(&sim, params, 0);
+  EXPECT_DEATH(
+      disk.Submit(MakeRequest(1, 1.0, params.capacity() - 2, 6, [] {})),
+      "capacity");
+}
+
+TEST(Disk, BackgroundDeadlineSortsLast) {
+  sim::Simulator sim;
+  Disk disk(&sim, DiskParams(), 0);
+  std::vector<int> order;
+  disk.Submit(MakeRequest(1, 10.0, 0, 6, [&] { order.push_back(1); }));
+  // Background write (infinite deadline) queued before an urgent read.
+  disk.Submit(MakeRequest(2, kNoDeadline, 900, 6,
+                          [&] { order.push_back(2); }, true));
+  disk.Submit(MakeRequest(3, 99.0, 1800, 6, [&] { order.push_back(3); }));
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+}  // namespace
+}  // namespace rtq::model

@@ -1,0 +1,75 @@
+#include "model/disk_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace rtq::model {
+namespace {
+
+TEST(DiskCache, EmptyContainsNothing) {
+  DiskCache cache(32);
+  EXPECT_FALSE(cache.Contains(0, 1));
+  EXPECT_EQ(cache.cached_pages(), 0);
+}
+
+TEST(DiskCache, InsertedRangeIsHit) {
+  DiskCache cache(32);
+  cache.Insert(100, 6);
+  EXPECT_TRUE(cache.Contains(100, 6));
+  EXPECT_TRUE(cache.Contains(102, 3));
+  EXPECT_TRUE(cache.Contains(105, 1));
+  EXPECT_FALSE(cache.Contains(99, 2));
+  EXPECT_FALSE(cache.Contains(104, 4));  // spills past the extent
+}
+
+TEST(DiskCache, ExtentsDoNotStitch) {
+  DiskCache cache(32);
+  cache.Insert(0, 6);
+  cache.Insert(6, 6);
+  // [4, 8) spans both extents: a real track buffer serves from one.
+  EXPECT_FALSE(cache.Contains(4, 4));
+  EXPECT_TRUE(cache.Contains(0, 6));
+  EXPECT_TRUE(cache.Contains(6, 6));
+}
+
+TEST(DiskCache, LruEvictionByExtent) {
+  DiskCache cache(12);
+  cache.Insert(0, 6);
+  cache.Insert(100, 6);
+  EXPECT_TRUE(cache.Contains(0, 6));
+  cache.Insert(200, 6);  // evicts the oldest extent (0)
+  EXPECT_FALSE(cache.Contains(0, 6));
+  EXPECT_TRUE(cache.Contains(100, 6));
+  EXPECT_TRUE(cache.Contains(200, 6));
+  EXPECT_LE(cache.cached_pages(), cache.capacity());
+}
+
+TEST(DiskCache, OversizedInsertKeepsTail) {
+  DiskCache cache(8);
+  cache.Insert(0, 20);
+  // Only the last 8 pages remain buffered.
+  EXPECT_TRUE(cache.Contains(12, 8));
+  EXPECT_FALSE(cache.Contains(0, 8));
+  EXPECT_EQ(cache.cached_pages(), 8);
+}
+
+TEST(DiskCache, InvalidateClears) {
+  DiskCache cache(32);
+  cache.Insert(5, 6);
+  cache.Invalidate();
+  EXPECT_FALSE(cache.Contains(5, 6));
+  EXPECT_EQ(cache.cached_pages(), 0);
+}
+
+TEST(DiskCache, ZeroCapacityDisables) {
+  DiskCache cache(0);
+  cache.Insert(0, 6);
+  EXPECT_FALSE(cache.Contains(0, 1));
+}
+
+TEST(DiskCache, EmptyRangeAlwaysContained) {
+  DiskCache cache(32);
+  EXPECT_TRUE(cache.Contains(12345, 0));
+}
+
+}  // namespace
+}  // namespace rtq::model

@@ -1,0 +1,86 @@
+#include "model/disk_geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rtq::model {
+namespace {
+
+TEST(DiskParams, DefaultsAreValid) {
+  DiskParams params;
+  EXPECT_TRUE(params.Validate().ok());
+  EXPECT_EQ(params.capacity(), 1500 * 90);
+}
+
+TEST(DiskParams, RejectsBadValues) {
+  DiskParams p;
+  p.rotation_time = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = DiskParams{};
+  p.num_cylinders = -1;
+  EXPECT_FALSE(p.Validate().ok());
+  p = DiskParams{};
+  p.track_size = 7;  // must divide cylinder_size (90)
+  EXPECT_FALSE(p.Validate().ok());
+  p = DiskParams{};
+  p.track_size = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = DiskParams{};
+  p.seek_factor = -1.0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(DiskGeometry, CylinderOf) {
+  DiskGeometry geom((DiskParams()));
+  EXPECT_EQ(geom.CylinderOf(0), 0);
+  EXPECT_EQ(geom.CylinderOf(89), 0);
+  EXPECT_EQ(geom.CylinderOf(90), 1);
+  EXPECT_EQ(geom.CylinderOf(90 * 1499), 1499);
+}
+
+TEST(DiskGeometry, SeekFollowsSquareRoot) {
+  DiskParams params;
+  DiskGeometry geom(params);
+  EXPECT_DOUBLE_EQ(geom.SeekTime(10, 10), 0.0);
+  EXPECT_NEAR(geom.SeekTime(0, 1), params.seek_factor, 1e-12);
+  EXPECT_NEAR(geom.SeekTime(0, 100), params.seek_factor * 10.0, 1e-12);
+  // Symmetric in direction.
+  EXPECT_DOUBLE_EQ(geom.SeekTime(5, 55), geom.SeekTime(55, 5));
+}
+
+TEST(DiskGeometry, RotationalDelayIsHalfRotation) {
+  DiskParams params;
+  DiskGeometry geom(params);
+  EXPECT_DOUBLE_EQ(geom.RotationalDelay(), params.rotation_time / 2.0);
+}
+
+TEST(DiskGeometry, TransferUsesTrackRate) {
+  DiskParams params;
+  DiskGeometry geom(params);
+  // One track takes one full rotation.
+  EXPECT_NEAR(geom.TransferTime(params.track_size), params.rotation_time,
+              1e-12);
+  EXPECT_NEAR(geom.TransferTime(2 * params.track_size),
+              2.0 * params.rotation_time, 1e-12);
+  EXPECT_DOUBLE_EQ(geom.TransferTime(0), 0.0);
+}
+
+TEST(DiskGeometry, AccessTimeComposes) {
+  DiskParams params;
+  DiskGeometry geom(params);
+  PageCount start = 90 * 100;  // cylinder 100
+  SimTime expected = geom.SeekTime(0, 100) + geom.RotationalDelay() +
+                     geom.TransferTime(6);
+  EXPECT_NEAR(geom.AccessTime(0, start, 6), expected, 1e-12);
+}
+
+TEST(DiskGeometry, SameCylinderAccessSkipsSeek) {
+  DiskParams params;
+  DiskGeometry geom(params);
+  SimTime t = geom.AccessTime(3, 3 * 90 + 10, 6);
+  EXPECT_NEAR(t, geom.RotationalDelay() + geom.TransferTime(6), 1e-12);
+}
+
+}  // namespace
+}  // namespace rtq::model

@@ -1,0 +1,123 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rtq::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+  EXPECT_EQ(q.total_scheduled(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(3.0, [&] { fired.push_back(3); });
+  q.Schedule(1.0, [&] { fired.push_back(1); });
+  q.Schedule(2.0, [&] { fired.push_back(2); });
+  while (!q.Empty()) q.Pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.Empty()) q.Pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, PeekTimeReportsEarliestLive) {
+  EventQueue q;
+  q.Schedule(7.0, [] {});
+  EventId early = q.Schedule(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 2.0);
+  EXPECT_TRUE(q.Cancel(early));
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 7.0);
+}
+
+TEST(EventQueue, CancelPreventsDelivery) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.Schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  EventId id = q.Schedule(1.0, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(12345));
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+}
+
+TEST(EventQueue, CancelAfterPopFails) {
+  EventQueue q;
+  EventId id = q.Schedule(1.0, [] {});
+  q.Pop().second();
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueue, SizeCountsLiveOnly) {
+  EventQueue q;
+  EventId a = q.Schedule(1.0, [] {});
+  q.Schedule(2.0, [] {});
+  EXPECT_EQ(q.Size(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(EventQueue, PopReturnsTimeAndCallback) {
+  EventQueue q;
+  int hits = 0;
+  q.Schedule(4.5, [&] { ++hits; });
+  auto [when, cb] = q.Pop();
+  EXPECT_DOUBLE_EQ(when, 4.5);
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventQueue, TotalScheduledCountsEverything) {
+  EventQueue q;
+  EventId a = q.Schedule(1.0, [] {});
+  q.Schedule(2.0, [] {});
+  q.Cancel(a);
+  EXPECT_EQ(q.total_scheduled(), 2u);
+}
+
+TEST(EventQueue, ManyInterleavedOpsKeepOrder) {
+  EventQueue q;
+  std::vector<double> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    double t = static_cast<double>((i * 37) % 100);
+    ids.push_back(q.Schedule(t, [&fired, t] { fired.push_back(t); }));
+  }
+  // Cancel every third.
+  for (size_t i = 0; i < ids.size(); i += 3) q.Cancel(ids[i]);
+  double last = -1.0;
+  while (!q.Empty()) {
+    auto [when, cb] = q.Pop();
+    EXPECT_GE(when, last);
+    last = when;
+    cb();
+  }
+  EXPECT_EQ(fired.size(), 100u - 34u);
+}
+
+}  // namespace
+}  // namespace rtq::sim

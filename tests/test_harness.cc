@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "harness/csv.h"
+#include "harness/paper_experiments.h"
+#include "harness/table_printer.h"
+
+namespace rtq::harness {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("  name  value"), std::string::npos);
+  EXPECT_NE(out.find("longer     22"), std::string::npos);
+}
+
+TEST(TablePrinter, MissingCellsRenderEmpty) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_NO_THROW(t.ToString());
+}
+
+TEST(TablePrinter, Formatters) {
+  EXPECT_EQ(TablePrinter::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Percent(0.256, 1), "25.6%");
+  EXPECT_EQ(TablePrinter::Percent(0.0, 1), "0.0%");
+}
+
+TEST(Csv, EscapesSpecials) {
+  CsvWriter csv({"a", "b"});
+  csv.AddRow({"plain", "with,comma"});
+  csv.AddRow({"with\"quote", "with\nnewline"});
+  std::string out = csv.ToString();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Csv, WritesFile) {
+  CsvWriter csv({"x", "y"});
+  csv.AddRow({"1", "2"});
+  std::string path = "results/test_csv_writer.csv";
+  ASSERT_TRUE(csv.WriteFile(path).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove(path);
+}
+
+TEST(PaperExperiments, ConfigsValidate) {
+  engine::PolicyConfig pmm;
+  pmm.kind = engine::PolicyKind::kPmm;
+  EXPECT_TRUE(BaselineConfig(0.06, pmm).Validate().ok());
+  EXPECT_TRUE(DiskContentionConfig(0.07, pmm).Validate().ok());
+  EXPECT_TRUE(WorkloadChangeConfig(pmm, true, false).Validate().ok());
+  EXPECT_TRUE(ExternalSortConfig(0.08, pmm).Validate().ok());
+  EXPECT_TRUE(MulticlassConfig(0.4, pmm).Validate().ok());
+  EXPECT_TRUE(MulticlassConfig(0.0, pmm).Validate().ok());
+  EXPECT_TRUE(ScaledConfig(0.07, pmm, 10.0).Validate().ok());
+}
+
+TEST(PaperExperiments, ConfigShapesMatchPaper) {
+  engine::PolicyConfig pmm;
+  pmm.kind = engine::PolicyKind::kPmm;
+
+  auto baseline = BaselineConfig(0.06, pmm);
+  EXPECT_EQ(baseline.num_disks, 10);
+  EXPECT_EQ(baseline.memory_pages, 2560);
+  EXPECT_EQ(baseline.workload.classes.size(), 1u);
+
+  auto contention = DiskContentionConfig(0.07, pmm);
+  EXPECT_EQ(contention.num_disks, 6);
+
+  auto multiclass = MulticlassConfig(0.4, pmm);
+  EXPECT_EQ(multiclass.num_disks, 12);
+  EXPECT_EQ(multiclass.workload.classes.size(), 2u);
+  EXPECT_DOUBLE_EQ(multiclass.workload.classes[0].arrival_rate, 0.065);
+
+  auto scaled = ScaledConfig(0.07, pmm, 10.0);
+  EXPECT_EQ(scaled.memory_pages, 25600);
+  EXPECT_DOUBLE_EQ(scaled.workload.classes[0].arrival_rate, 0.007);
+  EXPECT_GE(scaled.disk.capacity(),
+            2 * (scaled.database.groups[0].max_pages +
+                 scaled.database.groups[1].max_pages));
+}
+
+TEST(PaperExperiments, PolicyLabels) {
+  engine::PolicyConfig p;
+  p.kind = engine::PolicyKind::kMinMaxN;
+  p.mpl_limit = 10;
+  EXPECT_EQ(PolicyLabel(p), "MinMax-10");
+  p.kind = engine::PolicyKind::kMax;
+  EXPECT_EQ(PolicyLabel(p), "Max");
+  p.max_bypass = false;
+  EXPECT_EQ(PolicyLabel(p), "Max(strict)");
+}
+
+TEST(PaperExperiments, BaselinePoliciesCoverThePaper) {
+  auto policies = BaselinePolicies();
+  ASSERT_EQ(policies.size(), 4u);
+  EXPECT_EQ(policies[0].kind, engine::PolicyKind::kMax);
+  EXPECT_EQ(policies[1].kind, engine::PolicyKind::kMinMax);
+  EXPECT_EQ(policies[2].kind, engine::PolicyKind::kProportional);
+  EXPECT_EQ(policies[3].kind, engine::PolicyKind::kPmm);
+}
+
+TEST(PaperExperiments, DurationHonoursEnvironment) {
+  // Do not disturb a possibly-set variable beyond this test.
+  const char* old = std::getenv("RTQ_SIM_HOURS");
+  setenv("RTQ_SIM_HOURS", "2.5", 1);
+  EXPECT_DOUBLE_EQ(ExperimentDuration(), 2.5 * 3600.0);
+  if (old != nullptr) {
+    setenv("RTQ_SIM_HOURS", old, 1);
+  } else {
+    unsetenv("RTQ_SIM_HOURS");
+  }
+}
+
+}  // namespace
+}  // namespace rtq::harness

@@ -1,0 +1,111 @@
+#include "stats/large_sample_test.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rtq::stats {
+namespace {
+
+RunningStats Sample(Rng* rng, int n, double lo, double hi) {
+  RunningStats s;
+  for (int i = 0; i < n; ++i) s.Add(rng->Uniform(lo, hi));
+  return s;
+}
+
+TEST(LargeSample, DetectsClearlyPositiveMean) {
+  Rng rng(1);
+  RunningStats s = Sample(&rng, 30, 5.0, 15.0);
+  EXPECT_TRUE(MeanExceeds(s, 0.0, 0.95));
+}
+
+TEST(LargeSample, DoesNotRejectZeroCenteredSample) {
+  Rng rng(2);
+  RunningStats s = Sample(&rng, 30, -10.0, 10.0);
+  EXPECT_FALSE(MeanExceeds(s, 5.0, 0.95));
+}
+
+TEST(LargeSample, TooFewObservationsNeverReject) {
+  RunningStats s;
+  s.Add(100.0);
+  EXPECT_FALSE(MeanExceeds(s, 0.0, 0.95));
+  EXPECT_FALSE(MeanDiffersFrom(s, 0.0, 0.99));
+}
+
+TEST(LargeSample, DegenerateConstantSample) {
+  RunningStats s;
+  for (int i = 0; i < 10; ++i) s.Add(4.0);
+  // Zero variance, positive difference: infinitely significant.
+  EXPECT_TRUE(MeanExceeds(s, 0.0, 0.95));
+  EXPECT_FALSE(MeanExceeds(s, 4.0, 0.95));
+  EXPECT_TRUE(MeanDiffersFrom(s, 3.0, 0.99));
+  EXPECT_FALSE(MeanDiffersFrom(s, 4.0, 0.99));
+}
+
+TEST(LargeSample, ZStatisticMatchesFormula) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.Add(x);
+  // mean 3, sd sqrt(2.5), n 5 -> z = 3 / (sqrt(2.5)/sqrt(5)).
+  EXPECT_NEAR(ZStatistic(s, 0.0), 3.0 / (std::sqrt(2.5) / std::sqrt(5.0)),
+              1e-12);
+}
+
+TEST(LargeSample, TwoSidedDetectsShift) {
+  Rng rng(3);
+  RunningStats s = Sample(&rng, 50, 99.0, 101.0);
+  EXPECT_TRUE(MeanDiffersFrom(s, 90.0, 0.99));
+  EXPECT_FALSE(MeanDiffersFrom(s, 100.0, 0.99));
+}
+
+TEST(TwoSampleMeansDiffer, IdenticalDistributionsRarelyDiffer) {
+  // False-positive rate at 99% should be ~1% per test; over 50 repeated
+  // pairs expect very few flags. The one-sample (wrong) formulation flags
+  // ~30-50% of these — this test pins the regression.
+  Rng rng(4);
+  int flags = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    RunningStats a = Sample(&rng, 30, 0.0, 100.0);
+    RunningStats b = Sample(&rng, 30, 0.0, 100.0);
+    if (TwoSampleMeansDiffer(a, b, 0.99)) ++flags;
+  }
+  EXPECT_LE(flags, 4);
+}
+
+TEST(TwoSampleMeansDiffer, DetectsRealShift) {
+  Rng rng(5);
+  RunningStats a = Sample(&rng, 30, 0.0, 10.0);
+  RunningStats b = Sample(&rng, 30, 20.0, 30.0);
+  EXPECT_TRUE(TwoSampleMeansDiffer(a, b, 0.99));
+}
+
+TEST(TwoSampleMeansDiffer, SmallSamplesNeverFlag) {
+  RunningStats a, b;
+  a.Add(0.0);
+  b.Add(100.0);
+  EXPECT_FALSE(TwoSampleMeansDiffer(a, b, 0.99));
+}
+
+TEST(TwoSampleMeansDiffer, SymmetricInArguments) {
+  Rng rng(6);
+  RunningStats a = Sample(&rng, 40, 0.0, 10.0);
+  RunningStats b = Sample(&rng, 40, 5.0, 15.0);
+  EXPECT_EQ(TwoSampleMeansDiffer(a, b, 0.95),
+            TwoSampleMeansDiffer(b, a, 0.95));
+}
+
+/// Property sweep: power grows with the shift size.
+class TwoSamplePower : public ::testing::TestWithParam<double> {};
+
+TEST_P(TwoSamplePower, LargeShiftsAlwaysDetected) {
+  double shift = GetParam();
+  Rng rng(static_cast<uint64_t>(shift * 100) + 7);
+  RunningStats a = Sample(&rng, 30, 0.0, 10.0);
+  RunningStats b = Sample(&rng, 30, shift, shift + 10.0);
+  EXPECT_TRUE(TwoSampleMeansDiffer(a, b, 0.99));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, TwoSamplePower,
+                         ::testing::Values(15.0, 25.0, 50.0, 100.0));
+
+}  // namespace
+}  // namespace rtq::stats

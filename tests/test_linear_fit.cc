@@ -1,0 +1,83 @@
+#include "stats/linear_fit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rtq::stats {
+namespace {
+
+TEST(LinearFit, RecoverExactLine) {
+  LinearFit fit;
+  for (double x : {1.0, 2.0, 5.0, 9.0}) fit.Add(x, 3.0 * x - 2.0);
+  ASSERT_TRUE(fit.CanFit());
+  EXPECT_NEAR(fit.slope(), 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept(), -2.0, 1e-9);
+  EXPECT_NEAR(fit.ValueAt(10.0), 28.0, 1e-9);
+}
+
+TEST(LinearFit, TooFewPoints) {
+  LinearFit fit;
+  EXPECT_FALSE(fit.CanFit());
+  fit.Add(1.0, 1.0);
+  EXPECT_FALSE(fit.CanFit());
+  EXPECT_DOUBLE_EQ(fit.ValueAt(5.0), 1.0);  // mean fallback
+}
+
+TEST(LinearFit, AllSameXFallsBackToMean) {
+  LinearFit fit;
+  fit.Add(2.0, 10.0);
+  fit.Add(2.0, 20.0);
+  fit.Add(2.0, 30.0);
+  EXPECT_FALSE(fit.CanFit());
+  EXPECT_DOUBLE_EQ(fit.ValueAt(100.0), 20.0);
+}
+
+TEST(LinearFit, LeastSquaresOfNoisyData) {
+  LinearFit fit;
+  // Symmetric residuals around y = 2x + 1.
+  fit.Add(0.0, 1.5);
+  fit.Add(0.0, 0.5);
+  fit.Add(10.0, 21.5);
+  fit.Add(10.0, 20.5);
+  EXPECT_NEAR(fit.slope(), 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept(), 1.0, 1e-9);
+}
+
+TEST(LinearFit, ResetClears) {
+  LinearFit fit;
+  fit.Add(1.0, 1.0);
+  fit.Add(2.0, 2.0);
+  fit.Reset();
+  EXPECT_EQ(fit.count(), 0);
+  EXPECT_FALSE(fit.CanFit());
+  EXPECT_DOUBLE_EQ(fit.ValueAt(1.0), 0.0);
+}
+
+TEST(LinearFit, EmptyValueAtIsZero) {
+  LinearFit fit;
+  EXPECT_DOUBLE_EQ(fit.ValueAt(3.0), 0.0);
+}
+
+/// Property: recovered slope/intercept match the generating line for
+/// random point sets.
+class LinearFitRecovery : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinearFitRecovery, ExactRecovery) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  double slope = rng.Uniform(-5.0, 5.0);
+  double intercept = rng.Uniform(-100.0, 100.0);
+  LinearFit fit;
+  for (int i = 0; i < 20; ++i) {
+    double x = rng.Uniform(-50.0, 50.0);
+    fit.Add(x, slope * x + intercept);
+  }
+  ASSERT_TRUE(fit.CanFit());
+  EXPECT_NEAR(fit.slope(), slope, 1e-6);
+  EXPECT_NEAR(fit.intercept(), intercept, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinearFitRecovery, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace rtq::stats

@@ -1,0 +1,85 @@
+#include "buffer/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace rtq::buffer {
+namespace {
+
+TEST(LruCache, MissThenHit) {
+  LruCache cache(4);
+  EXPECT_FALSE(cache.Lookup(1));
+  cache.Insert(1);
+  EXPECT_TRUE(cache.Lookup(1));
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache cache(3);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Insert(3);
+  cache.Lookup(1);   // 1 becomes MRU; 2 is LRU
+  cache.Insert(4);   // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+}
+
+TEST(LruCache, ContainsDoesNotPromote) {
+  LruCache cache(2);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Contains(1);  // no promotion
+  cache.Insert(3);    // evicts 1 (still LRU)
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(LruCache, ReinsertPromotes) {
+  LruCache cache(2);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Insert(1);  // promote
+  cache.Insert(3);  // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(LruCache, ShrinkingCapacityEvicts) {
+  LruCache cache(4);
+  for (uint64_t k = 1; k <= 4; ++k) cache.Insert(k);
+  cache.SetCapacity(2);
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_TRUE(cache.Contains(4));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(LruCache, ZeroCapacityInsertsNothing) {
+  LruCache cache(0);
+  cache.Insert(1);
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_FALSE(cache.Lookup(1));
+}
+
+TEST(LruCache, EraseRemovesEntry) {
+  LruCache cache(4);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Erase(1);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  cache.Erase(99);  // no-op
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(LruCache, ClearEmptiesEverything) {
+  LruCache cache(4);
+  for (uint64_t k = 0; k < 4; ++k) cache.Insert(k);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_FALSE(cache.Contains(0));
+}
+
+}  // namespace
+}  // namespace rtq::buffer

@@ -1,0 +1,143 @@
+#include "core/memory_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace rtq::core {
+namespace {
+
+MemRequest Q(QueryId id, SimTime deadline, PageCount min, PageCount max) {
+  MemRequest r;
+  r.id = id;
+  r.deadline = deadline;
+  r.min_memory = min;
+  r.max_memory = max;
+  return r;
+}
+
+struct Recorder {
+  std::map<QueryId, PageCount> allocations;
+  int calls = 0;
+  MemoryManager::ApplyFn fn() {
+    return [this](QueryId id, PageCount pages) {
+      allocations[id] = pages;
+      ++calls;
+    };
+  }
+};
+
+TEST(MemoryManager, AdmitsOnAdd) {
+  Recorder rec;
+  MemoryManager mm(1000, std::make_unique<MaxStrategy>(), rec.fn());
+  mm.AddQuery(Q(1, 10.0, 40, 600));
+  EXPECT_EQ(rec.allocations[1], 600);
+  EXPECT_EQ(mm.admitted_count(), 1);
+  EXPECT_EQ(mm.allocated_pages(), 600);
+}
+
+TEST(MemoryManager, WaitingQueryGetsZero) {
+  Recorder rec;
+  MemoryManager mm(1000, std::make_unique<MaxStrategy>(false), rec.fn());
+  mm.AddQuery(Q(1, 10.0, 40, 800));
+  mm.AddQuery(Q(2, 20.0, 40, 800));
+  EXPECT_EQ(mm.admitted_count(), 1);
+  EXPECT_EQ(mm.waiting_count(), 1);
+  EXPECT_EQ(mm.allocation_of(2), 0);
+}
+
+TEST(MemoryManager, RemovePromotesWaiters) {
+  Recorder rec;
+  MemoryManager mm(1000, std::make_unique<MaxStrategy>(false), rec.fn());
+  mm.AddQuery(Q(1, 10.0, 40, 800));
+  mm.AddQuery(Q(2, 20.0, 40, 800));
+  mm.RemoveQuery(1);
+  EXPECT_EQ(rec.allocations[2], 800);
+  EXPECT_EQ(mm.admitted_count(), 1);
+  EXPECT_EQ(mm.live_count(), 1);
+}
+
+TEST(MemoryManager, EarlierDeadlinePreemptsMemory) {
+  Recorder rec;
+  MemoryManager mm(1000, std::make_unique<MinMaxStrategy>(-1), rec.fn());
+  mm.AddQuery(Q(1, 100.0, 40, 900));
+  EXPECT_EQ(rec.allocations[1], 900);
+  // A more urgent query arrives: it takes the max; the old one drops to min.
+  mm.AddQuery(Q(2, 50.0, 40, 900));
+  EXPECT_EQ(rec.allocations[2], 900);
+  EXPECT_EQ(rec.allocations[1], 100);  // 1000 - 900
+}
+
+TEST(MemoryManager, ApplyCalledOnlyOnChanges) {
+  Recorder rec;
+  MemoryManager mm(1000, std::make_unique<MaxStrategy>(), rec.fn());
+  mm.AddQuery(Q(1, 10.0, 40, 300));
+  int calls_after_add = rec.calls;
+  mm.Reallocate();  // nothing changed
+  EXPECT_EQ(rec.calls, calls_after_add);
+}
+
+TEST(MemoryManager, SetStrategyReallocates) {
+  Recorder rec;
+  MemoryManager mm(1000, std::make_unique<MaxStrategy>(false), rec.fn());
+  mm.AddQuery(Q(1, 10.0, 40, 700));
+  mm.AddQuery(Q(2, 20.0, 40, 700));
+  EXPECT_EQ(mm.admitted_count(), 1);  // Max admits only one
+  mm.SetStrategy(std::make_unique<MinMaxStrategy>(-1));
+  EXPECT_EQ(mm.admitted_count(), 2);  // MinMax admits both
+  EXPECT_EQ(rec.allocations[1], 700);
+  EXPECT_EQ(rec.allocations[2], 300);
+  EXPECT_EQ(mm.strategy().name(), "MinMax");
+}
+
+TEST(MemoryManager, ShrinksAppliedBeforeGrows) {
+  // If grows were applied first the pool would transiently oversubscribe;
+  // the recorder checks the running total never exceeds the pool.
+  PageCount running = 0;
+  PageCount peak = 0;
+  std::map<QueryId, PageCount> current;
+  MemoryManager mm(
+      1000, std::make_unique<MinMaxStrategy>(-1),
+      [&](QueryId id, PageCount pages) {
+        running += pages - current[id];
+        current[id] = pages;
+        peak = std::max(peak, running);
+      });
+  mm.AddQuery(Q(1, 100.0, 40, 900));
+  mm.AddQuery(Q(2, 50.0, 40, 900));   // forces 1 to shrink, 2 to grow
+  mm.AddQuery(Q(3, 25.0, 40, 900));   // forces more reshuffling
+  mm.RemoveQuery(3);
+  EXPECT_LE(peak, 1000);
+}
+
+TEST(MemoryManager, RejectsDuplicateIds) {
+  Recorder rec;
+  MemoryManager mm(1000, std::make_unique<MaxStrategy>(), rec.fn());
+  mm.AddQuery(Q(1, 10.0, 40, 100));
+  EXPECT_DEATH(mm.AddQuery(Q(1, 20.0, 40, 100)), "duplicate");
+}
+
+TEST(MemoryManager, RejectsUnknownRemoval) {
+  Recorder rec;
+  MemoryManager mm(1000, std::make_unique<MaxStrategy>(), rec.fn());
+  EXPECT_DEATH(mm.RemoveQuery(42), "unknown");
+}
+
+TEST(MemoryManager, RejectsImpossibleDemands) {
+  Recorder rec;
+  MemoryManager mm(1000, std::make_unique<MaxStrategy>(), rec.fn());
+  EXPECT_DEATH(mm.AddQuery(Q(1, 10.0, 40, 2000)), "more memory");
+}
+
+TEST(MemoryManager, DeadlineTiesBreakByQueryId) {
+  Recorder rec;
+  MemoryManager mm(1000, std::make_unique<MinMaxStrategy>(-1), rec.fn());
+  mm.AddQuery(Q(7, 50.0, 40, 900));
+  mm.AddQuery(Q(3, 50.0, 40, 900));
+  // Same deadline: the earlier-arriving (lower id) query wins the top-up.
+  EXPECT_EQ(rec.allocations[3], 900);
+  EXPECT_EQ(rec.allocations[7], 100);
+}
+
+}  // namespace
+}  // namespace rtq::core

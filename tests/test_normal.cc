@@ -1,0 +1,56 @@
+#include "stats/normal.h"
+
+#include <gtest/gtest.h>
+
+namespace rtq::stats {
+namespace {
+
+TEST(Normal, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-4);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-4);
+  EXPECT_NEAR(NormalCdf(3.0), 0.99865, 1e-5);
+}
+
+TEST(Normal, QuantileKnownValues) {
+  // The two critical values PMM uses (Table 1's confidence levels).
+  EXPECT_NEAR(NormalQuantile(0.95), 1.6449, 1e-3);   // one-sided 95%
+  EXPECT_NEAR(NormalQuantile(0.99), 2.3263, 1e-3);   // one-sided 99%
+  EXPECT_NEAR(NormalQuantile(0.975), 1.9600, 1e-3);  // two-sided 95%
+  EXPECT_NEAR(NormalQuantile(0.995), 2.5758, 1e-3);  // two-sided 99%
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+}
+
+TEST(Normal, QuantileSymmetry) {
+  for (double p : {0.01, 0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(NormalQuantile(p), -NormalQuantile(1.0 - p), 1e-9);
+  }
+}
+
+TEST(Normal, RoundTrip) {
+  for (double p = 0.001; p < 0.999; p += 0.037) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-8);
+  }
+}
+
+TEST(Normal, TailsAreFiniteAndMonotone) {
+  double q1 = NormalQuantile(1e-9);
+  double q2 = NormalQuantile(1e-6);
+  EXPECT_LT(q1, q2);
+  EXPECT_GT(q1, -7.0);
+  EXPECT_LT(NormalQuantile(1.0 - 1e-9), 7.0);
+}
+
+/// Parameterized monotonicity sweep.
+class NormalMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalMonotone, QuantileIncreasing) {
+  double p1 = 0.001 + 0.0998 * GetParam();
+  double p2 = p1 + 0.05;
+  EXPECT_LT(NormalQuantile(p1), NormalQuantile(p2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, NormalMonotone, ::testing::Range(0, 9));
+
+}  // namespace
+}  // namespace rtq::stats

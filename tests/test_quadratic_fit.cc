@@ -1,0 +1,147 @@
+#include "stats/quadratic_fit.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+
+namespace rtq::stats {
+namespace {
+
+TEST(QuadraticFit, NeedsThreePoints) {
+  QuadraticFit fit;
+  fit.Add(1.0, 1.0);
+  fit.Add(2.0, 2.0);
+  EXPECT_FALSE(fit.Fit());
+  EXPECT_EQ(fit.Classify(), CurveType::kUndetermined);
+}
+
+TEST(QuadraticFit, RecoverExactParabola) {
+  QuadraticFit fit;
+  // y = 0.5 x^2 - 4x + 10, vertex at x = 4.
+  for (double x : {1.0, 3.0, 5.0, 8.0}) {
+    fit.Add(x, 0.5 * x * x - 4.0 * x + 10.0);
+  }
+  ASSERT_TRUE(fit.Fit());
+  EXPECT_NEAR(fit.a(), 0.5, 1e-9);
+  EXPECT_NEAR(fit.b(), -4.0, 1e-9);
+  EXPECT_NEAR(fit.c(), 10.0, 1e-9);
+  EXPECT_NEAR(fit.Vertex(), 4.0, 1e-9);
+}
+
+TEST(QuadraticFit, CollinearPointsAreSingular) {
+  QuadraticFit fit;
+  fit.Add(1.0, 1.0);
+  fit.Add(1.0, 1.0);
+  fit.Add(1.0, 1.0);
+  EXPECT_FALSE(fit.Fit());
+}
+
+TEST(QuadraticFit, Type1BowlWithInteriorMinimum) {
+  QuadraticFit fit;
+  // Vertex at x = 5, tried range [2, 8] covers it.
+  for (double x : {2.0, 4.0, 6.0, 8.0}) {
+    fit.Add(x, (x - 5.0) * (x - 5.0) + 1.0);
+  }
+  ASSERT_TRUE(fit.Fit());
+  EXPECT_EQ(fit.Classify(), CurveType::kBowl);
+  EXPECT_NEAR(fit.Vertex(), 5.0, 1e-9);
+}
+
+TEST(QuadraticFit, Type2DecreasingWhenVertexBeyondRange) {
+  QuadraticFit fit;
+  // Concave up with vertex at 20; over [1, 8] strictly decreasing.
+  for (double x : {1.0, 3.0, 5.0, 8.0}) {
+    fit.Add(x, 0.1 * (x - 20.0) * (x - 20.0));
+  }
+  ASSERT_TRUE(fit.Fit());
+  EXPECT_EQ(fit.Classify(), CurveType::kDecreasing);
+}
+
+TEST(QuadraticFit, Type3IncreasingWhenVertexBelowRange) {
+  QuadraticFit fit;
+  for (double x : {5.0, 8.0, 12.0, 15.0}) {
+    fit.Add(x, 0.1 * (x - 2.0) * (x - 2.0));
+  }
+  ASSERT_TRUE(fit.Fit());
+  EXPECT_EQ(fit.Classify(), CurveType::kIncreasing);
+}
+
+TEST(QuadraticFit, Type4HillWithInteriorMaximum) {
+  QuadraticFit fit;
+  for (double x : {2.0, 4.0, 6.0, 8.0}) {
+    fit.Add(x, -(x - 5.0) * (x - 5.0) + 10.0);
+  }
+  ASSERT_TRUE(fit.Fit());
+  EXPECT_EQ(fit.Classify(), CurveType::kHill);
+}
+
+TEST(QuadraticFit, NearlyLinearDecreasingClassifiesType2) {
+  QuadraticFit fit;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) fit.Add(x, 10.0 - 2.0 * x);
+  ASSERT_TRUE(fit.Fit());
+  EXPECT_EQ(fit.Classify(), CurveType::kDecreasing);
+}
+
+TEST(QuadraticFit, NearlyLinearIncreasingClassifiesType3) {
+  QuadraticFit fit;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) fit.Add(x, 2.0 * x);
+  ASSERT_TRUE(fit.Fit());
+  EXPECT_EQ(fit.Classify(), CurveType::kIncreasing);
+}
+
+TEST(QuadraticFit, TracksMinAndMaxX) {
+  QuadraticFit fit;
+  fit.Add(5.0, 0.0);
+  fit.Add(-3.0, 0.0);
+  fit.Add(12.0, 0.0);
+  EXPECT_DOUBLE_EQ(fit.min_x(), -3.0);
+  EXPECT_DOUBLE_EQ(fit.max_x(), 12.0);
+}
+
+TEST(QuadraticFit, ResetClearsEverything) {
+  QuadraticFit fit;
+  for (double x : {1.0, 2.0, 3.0}) fit.Add(x, x);
+  fit.Fit();
+  fit.Reset();
+  EXPECT_EQ(fit.count(), 0);
+  EXPECT_FALSE(fit.Fit());
+  EXPECT_EQ(fit.Classify(), CurveType::kUndetermined);
+}
+
+TEST(QuadraticFit, CurveTypeNames) {
+  EXPECT_STREQ(CurveTypeName(CurveType::kBowl), "bowl");
+  EXPECT_STREQ(CurveTypeName(CurveType::kDecreasing), "decreasing");
+  EXPECT_STREQ(CurveTypeName(CurveType::kIncreasing), "increasing");
+  EXPECT_STREQ(CurveTypeName(CurveType::kHill), "hill");
+  EXPECT_STREQ(CurveTypeName(CurveType::kUndetermined), "undetermined");
+}
+
+/// Property: exact recovery of random parabolas from random samples.
+class QuadraticRecovery
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(QuadraticRecovery, CoefficientsRecovered) {
+  auto [seed, concave_up] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) + 500);
+  double a = rng.Uniform(0.01, 2.0) * (concave_up ? 1.0 : -1.0);
+  double b = rng.Uniform(-10.0, 10.0);
+  double c = rng.Uniform(-20.0, 20.0);
+  QuadraticFit fit;
+  for (int i = 0; i < 15; ++i) {
+    double x = rng.Uniform(-30.0, 30.0);
+    fit.Add(x, a * x * x + b * x + c);
+  }
+  ASSERT_TRUE(fit.Fit());
+  EXPECT_NEAR(fit.a(), a, 1e-6);
+  EXPECT_NEAR(fit.b(), b, 1e-5);
+  EXPECT_NEAR(fit.c(), c, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuadraticRecovery,
+                         ::testing::Combine(::testing::Range(0, 8),
+                                            ::testing::Bool()));
+
+}  // namespace
+}  // namespace rtq::stats

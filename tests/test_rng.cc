@@ -1,0 +1,89 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace rtq {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.NextDouble(), b.NextDouble());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextDouble() == b.NextDouble()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform(2.5, 7.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t x = rng.UniformInt(0, 4);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 4);
+    saw_lo |= x == 0;
+    saw_hi |= x == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(42);
+  double rate = 0.05;
+  double sum = 0.0;
+  int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(rate);
+  double mean = sum / n;
+  EXPECT_NEAR(mean, 1.0 / rate, 0.05 / rate);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(9);
+  Rng child = parent.Fork();
+  // Child's stream must differ from the parent's continuing stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.NextDouble() == child.NextDouble()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkedStreamsAreDeterministic) {
+  Rng p1(9), p2(9);
+  Rng c1 = p1.Fork();
+  Rng c2 = p2.Fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(c1.NextDouble(), c2.NextDouble());
+  }
+}
+
+TEST(Rng, SequentialForksDiffer) {
+  Rng parent(11);
+  Rng a = parent.Fork();
+  Rng b = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextDouble() == b.NextDouble()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace rtq

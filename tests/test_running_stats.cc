@@ -1,0 +1,96 @@
+#include "stats/running_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rtq::stats {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleObservationHasZeroVariance) {
+  RunningStats s;
+  s.Add(3.25);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.25);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+/// Property: merging partitions of a stream equals bulk accumulation.
+class RunningStatsMergeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RunningStatsMergeProperty, MergeEqualsBulk) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  int n = 200 + GetParam() * 13;
+  std::vector<double> xs;
+  for (int i = 0; i < n; ++i) xs.push_back(rng.Uniform(-50.0, 150.0));
+
+  RunningStats bulk;
+  for (double x : xs) bulk.Add(x);
+
+  size_t cut = xs.size() / 3 + static_cast<size_t>(GetParam());
+  RunningStats left, right;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    (i < cut ? left : right).Add(xs[i]);
+  }
+  left.Merge(right);
+
+  EXPECT_EQ(left.count(), bulk.count());
+  EXPECT_NEAR(left.mean(), bulk.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), bulk.variance(), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunningStatsMergeProperty,
+                         ::testing::Range(0, 10));
+
+TEST(RunningStats, MeanOfConstantStream) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.Add(7.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_NEAR(s.variance(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rtq::stats

@@ -1,0 +1,115 @@
+#include "exec/standalone.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/rtdbs.h"
+#include "harness/paper_experiments.h"
+
+namespace rtq::exec {
+namespace {
+
+TEST(Standalone, JoinRequestCounts) {
+  StandaloneEstimate est = EstimateHashJoin(
+      ExecParams(), model::DiskParams(), 40.0, 1200, 6000);
+  EXPECT_EQ(est.io_requests, 1200 / 6 + 6000 / 6);
+  EXPECT_GT(est.io_time, 0.0);
+  EXPECT_GT(est.cpu_time, 0.0);
+  EXPECT_GT(est.io_time, est.cpu_time);  // I/O-bound workload
+}
+
+TEST(Standalone, SortRequestCounts) {
+  StandaloneEstimate est = EstimateExternalSort(
+      ExecParams(), model::DiskParams(), 40.0, 1200);
+  EXPECT_EQ(est.io_requests, 200);
+}
+
+TEST(Standalone, MonotoneInRelationSizes) {
+  ExecParams exec;
+  model::DiskParams disk;
+  double prev = 0.0;
+  for (PageCount r : {300, 600, 1200, 1800}) {
+    double t = EstimateHashJoin(exec, disk, 40.0, r, 5 * r).total();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Standalone, FasterCpuShrinksCpuTimeOnly) {
+  ExecParams exec;
+  model::DiskParams disk;
+  auto slow = EstimateHashJoin(exec, disk, 10.0, 1200, 6000);
+  auto fast = EstimateHashJoin(exec, disk, 80.0, 1200, 6000);
+  EXPECT_GT(slow.cpu_time, fast.cpu_time);
+  EXPECT_DOUBLE_EQ(slow.io_time, fast.io_time);
+}
+
+TEST(Standalone, SortCheaperThanJoinOnSameInner) {
+  // A sort touches only R; the join also scans S.
+  ExecParams exec;
+  model::DiskParams disk;
+  EXPECT_LT(EstimateExternalSort(exec, disk, 40.0, 1200).total(),
+            EstimateHashJoin(exec, disk, 40.0, 1200, 6000).total());
+}
+
+/// Integration: the estimator must match an actual solitary query run in
+/// the full engine within a modest tolerance (the estimator ignores
+/// cylinder-boundary effects and head movement between the two operand
+/// disks; a lone query suffers no queueing).
+TEST(Standalone, MatchesSimulatedSolitaryJoin) {
+  engine::PolicyConfig policy;
+  policy.kind = engine::PolicyKind::kMax;
+  // Very low arrival rate: the first query runs completely alone.
+  engine::SystemConfig config =
+      harness::BaselineConfig(0.0005, policy, /*seed=*/7);
+  auto sys = engine::Rtdbs::Create(config);
+  ASSERT_TRUE(sys.ok());
+  sys.value()->RunUntil(3600.0 * 8);
+  const auto& records = sys.value()->metrics().records();
+  ASSERT_GE(records.size(), 3u);
+  int checked = 0;
+  for (const auto& rec : records) {
+    if (rec.info.missed) continue;
+    // Reconstruct the estimate from the recorded descriptor pieces:
+    // execution time of a lone max-memory query ~ standalone estimate =
+    // (deadline - arrival) / slack. Compare against measured execution.
+    double standalone =
+        rec.info.time_constraint /
+        ((rec.info.deadline - rec.info.arrival) /
+         rec.info.time_constraint);  // = time_constraint, see below
+    (void)standalone;
+    // time_constraint = standalone * slack; slack unknown here, so bound
+    // execution by the constraint instead: a lone query must finish well
+    // inside its window (slack >= 2.5).
+    EXPECT_LT(rec.info.execution_time, rec.info.time_constraint / 2.0);
+    EXPECT_LT(rec.info.admission_wait, 1e-6);
+    ++checked;
+  }
+  EXPECT_GE(checked, 3);
+}
+
+/// Tighter integration check through the workload source: the recorded
+/// standalone estimate times slack equals the constraint, and a solitary
+/// run's execution time is within 25% of the estimate.
+TEST(Standalone, SolitaryExecutionWithinTolerance) {
+  engine::PolicyConfig policy;
+  policy.kind = engine::PolicyKind::kMax;
+  engine::SystemConfig config =
+      harness::BaselineConfig(0.0005, policy, /*seed=*/11);
+  // Pin the slack so standalone is recoverable from the constraint.
+  config.workload.classes[0].slack_min = 4.0;
+  config.workload.classes[0].slack_max = 4.0;
+  auto sys = engine::Rtdbs::Create(config);
+  ASSERT_TRUE(sys.ok());
+  sys.value()->RunUntil(3600.0 * 8);
+  int checked = 0;
+  for (const auto& rec : sys.value()->metrics().records()) {
+    if (rec.info.missed) continue;
+    double standalone = rec.info.time_constraint / 4.0;
+    EXPECT_NEAR(rec.info.execution_time, standalone, standalone * 0.25);
+    ++checked;
+  }
+  EXPECT_GE(checked, 3);
+}
+
+}  // namespace
+}  // namespace rtq::exec

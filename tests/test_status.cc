@@ -1,0 +1,75 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace rtq {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad arg").message(), "bad arg");
+}
+
+TEST(Status, ToStringIncludesCodeName) {
+  Status s = Status::InvalidArgument("num_disks must be > 0");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: num_disks must be > 0");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v(Status::NotFound("nope"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, WorksWithMoveOnlyTypes) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(5));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 5);
+}
+
+TEST(StatusOr, WorksWithNonDefaultConstructibleTypes) {
+  struct NoDefault {
+    explicit NoDefault(int v) : value(v) {}
+    int value;
+  };
+  StatusOr<NoDefault> ok(NoDefault(3));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().value, 3);
+  StatusOr<NoDefault> err(Status::Internal("x"));
+  EXPECT_FALSE(err.ok());
+}
+
+Status Helper(bool fail) {
+  RTQ_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::Ok());
+  return Status::Ok();
+}
+
+TEST(Status, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Helper(false).ok());
+  Status s = Helper(true);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "inner");
+}
+
+}  // namespace
+}  // namespace rtq

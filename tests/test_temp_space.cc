@@ -1,0 +1,147 @@
+#include "storage/temp_space.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace rtq::storage {
+namespace {
+
+Database MakeDb(int32_t disks, Rng* rng) {
+  DatabaseSpec spec;
+  spec.num_disks = disks;
+  RelationGroupSpec g;
+  g.rel_per_disk = 2;
+  g.min_pages = 1000;
+  g.max_pages = 2000;
+  spec.groups = {g};
+  auto db = Database::Create(spec, model::DiskParams(), rng);
+  return std::move(db).value();
+}
+
+TEST(TempSpace, ArenasExcludeRelationBand) {
+  Rng rng(1);
+  model::DiskParams disk;
+  Database db = MakeDb(1, &rng);
+  TempSpace temp(db, disk);
+  PageCount band = db.relation_area_end(0) - db.relation_area_begin(0);
+  EXPECT_EQ(temp.free_pages(0), disk.capacity() - band);
+}
+
+TEST(TempSpace, AllocationsPreferDiskAndAvoidBand) {
+  Rng rng(2);
+  model::DiskParams disk;
+  Database db = MakeDb(2, &rng);
+  TempSpace temp(db, disk);
+  auto file = temp.Allocate(500, /*preferred=*/1);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file.value().disk, 1);
+  // The extent must not overlap the relation band.
+  PageCount begin = db.relation_area_begin(1);
+  PageCount end = db.relation_area_end(1);
+  bool before = file.value().start_page + file.value().pages <= begin;
+  bool after = file.value().start_page >= end;
+  EXPECT_TRUE(before || after);
+}
+
+TEST(TempSpace, PlacementHugsTheRelationBand) {
+  Rng rng(3);
+  model::DiskParams disk;
+  Database db = MakeDb(1, &rng);
+  TempSpace temp(db, disk);
+  auto file = temp.Allocate(100, 0);
+  ASSERT_TRUE(file.ok());
+  // The extent should touch one edge of the relation band, not sit at the
+  // far end of the disk (seek-locality optimisation).
+  PageCount begin = db.relation_area_begin(0);
+  PageCount end = db.relation_area_end(0);
+  bool hugs_outer = file.value().start_page + file.value().pages == begin;
+  bool hugs_inner = file.value().start_page == end;
+  EXPECT_TRUE(hugs_outer || hugs_inner);
+}
+
+TEST(TempSpace, FreeReturnsPagesAndCoalesces) {
+  Rng rng(4);
+  model::DiskParams disk;
+  Database db = MakeDb(1, &rng);
+  TempSpace temp(db, disk);
+  PageCount before = temp.free_pages(0);
+  auto a = temp.Allocate(300, 0);
+  auto b = temp.Allocate(300, 0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(temp.free_pages(0), before - 600);
+  EXPECT_EQ(temp.live_allocations(), 2);
+  temp.Free(a.value());
+  temp.Free(b.value());
+  EXPECT_EQ(temp.free_pages(0), before);
+  EXPECT_EQ(temp.live_allocations(), 0);
+  // After coalescing, a large allocation using the whole arena side works.
+  auto big = temp.Allocate(before / 2, 0);
+  EXPECT_TRUE(big.ok());
+}
+
+TEST(TempSpace, FallsBackToOtherDisks) {
+  Rng rng(5);
+  model::DiskParams disk;
+  Database db = MakeDb(3, &rng);
+  TempSpace temp(db, disk);
+  // Exhaust disk 0's two arenas (each allocation must fit in one hole).
+  while (temp.free_pages(0) >= 600) {
+    ASSERT_TRUE(temp.Allocate(500, 0).ok());
+  }
+  auto spill = temp.Allocate(600, 0);
+  ASSERT_TRUE(spill.ok());
+  EXPECT_NE(spill.value().disk, 0);
+}
+
+TEST(TempSpace, FailsWhenEverythingIsFull) {
+  Rng rng(6);
+  model::DiskParams disk;
+  Database db = MakeDb(1, &rng);
+  TempSpace temp(db, disk);
+  while (temp.free_pages(0) >= 600) {
+    ASSERT_TRUE(temp.Allocate(500, 0).ok());
+  }
+  auto fail = temp.Allocate(600, 0);
+  EXPECT_FALSE(fail.ok());
+  EXPECT_EQ(fail.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TempSpace, ManyAllocationsStayDisjoint) {
+  Rng rng(7);
+  model::DiskParams disk;
+  Database db = MakeDb(2, &rng);
+  TempSpace temp(db, disk);
+  std::vector<TempFile> files;
+  for (int i = 0; i < 50; ++i) {
+    auto f = temp.Allocate(100 + i, i % 2);
+    ASSERT_TRUE(f.ok());
+    files.push_back(f.value());
+  }
+  for (size_t i = 0; i < files.size(); ++i) {
+    for (size_t j = i + 1; j < files.size(); ++j) {
+      if (files[i].disk != files[j].disk) continue;
+      bool disjoint =
+          files[i].start_page + files[i].pages <= files[j].start_page ||
+          files[j].start_page + files[j].pages <= files[i].start_page;
+      EXPECT_TRUE(disjoint) << "extents " << i << " and " << j << " overlap";
+    }
+  }
+  for (const TempFile& f : files) temp.Free(f);
+  EXPECT_EQ(temp.live_allocations(), 0);
+}
+
+TEST(TempSpace, TotalFreeAcrossDisks) {
+  Rng rng(8);
+  model::DiskParams disk;
+  Database db = MakeDb(2, &rng);
+  TempSpace temp(db, disk);
+  PageCount total = temp.total_free_pages();
+  EXPECT_EQ(total, temp.free_pages(0) + temp.free_pages(1));
+  auto f = temp.Allocate(1000, 0);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(temp.total_free_pages(), total - 1000);
+}
+
+}  // namespace
+}  // namespace rtq::storage

@@ -1,0 +1,60 @@
+#include "stats/time_weighted.h"
+
+#include <gtest/gtest.h>
+
+namespace rtq::stats {
+namespace {
+
+TEST(TimeWeightedAverage, ConstantSignal) {
+  TimeWeightedAverage twa;
+  twa.Start(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(twa.Average(10.0), 3.0);
+  EXPECT_DOUBLE_EQ(twa.Integral(10.0), 30.0);
+}
+
+TEST(TimeWeightedAverage, PiecewiseSignal) {
+  TimeWeightedAverage twa;
+  twa.Start(0.0, 0.0);
+  twa.Update(2.0, 4.0);   // 0 for [0,2)
+  twa.Update(6.0, 1.0);   // 4 for [2,6)
+  // 1 for [6,10): integral = 0*2 + 4*4 + 1*4 = 20.
+  EXPECT_DOUBLE_EQ(twa.Integral(10.0), 20.0);
+  EXPECT_DOUBLE_EQ(twa.Average(10.0), 2.0);
+}
+
+TEST(TimeWeightedAverage, ZeroDurationUpdatesAreHarmless) {
+  TimeWeightedAverage twa;
+  twa.Start(0.0, 1.0);
+  twa.Update(5.0, 2.0);
+  twa.Update(5.0, 3.0);
+  twa.Update(5.0, 4.0);
+  // 1 for [0,5), then 4 for [5,10): integral 5 + 20.
+  EXPECT_DOUBLE_EQ(twa.Integral(10.0), 25.0);
+}
+
+TEST(TimeWeightedAverage, AverageAtWindowStartIsCurrentValue) {
+  TimeWeightedAverage twa;
+  twa.Start(3.0, 9.0);
+  EXPECT_DOUBLE_EQ(twa.Average(3.0), 9.0);
+}
+
+TEST(TimeWeightedAverage, ResetWindowKeepsValue) {
+  TimeWeightedAverage twa;
+  twa.Start(0.0, 2.0);
+  twa.Update(4.0, 6.0);
+  twa.ResetWindow(5.0);
+  EXPECT_DOUBLE_EQ(twa.current_value(), 6.0);
+  // New window sees only the post-reset signal.
+  EXPECT_DOUBLE_EQ(twa.Average(7.0), 6.0);
+  EXPECT_DOUBLE_EQ(twa.Integral(7.0), 12.0);
+}
+
+TEST(TimeWeightedAverage, NonZeroStartTime) {
+  TimeWeightedAverage twa;
+  twa.Start(100.0, 5.0);
+  twa.Update(110.0, 10.0);
+  EXPECT_DOUBLE_EQ(twa.Average(120.0), 7.5);
+}
+
+}  // namespace
+}  // namespace rtq::stats
