@@ -2,12 +2,18 @@
 //
 // The workload source needs each query's stand-alone time — "the time it
 // would take to execute alone in the system with its maximum memory
-// allocation" (Section 4.1) — to assign deadlines. With maximum memory
-// neither operator does any temp I/O, and a lone query alternates CPU and
-// disk with no queueing, so the time decomposes into a deterministic CPU
-// component (Table 4 costs / MIPS) plus a disk component (per-request
-// positioning + media transfer). An integration test checks these
-// estimates against actually simulating a solitary query.
+// allocation" (Section 4.1) — to assign deadlines:
+//
+//   Deadline = Arrival + StandAlone * SlackRatio
+//
+// With maximum memory neither operator does any temp I/O, and a lone
+// query alternates CPU and disk with no queueing, so the time decomposes
+// into a deterministic CPU component (Table 4 costs / MIPS) plus a disk
+// component (per-request positioning + media transfer on sequential
+// block reads of the operand relations). The estimates must match what
+// the simulator would actually do for a solitary query — an integration
+// test (tests/test_standalone.cc) checks exactly that — because any bias
+// here systematically loosens or tightens every deadline in a run.
 
 #ifndef RTQ_EXEC_STANDALONE_H_
 #define RTQ_EXEC_STANDALONE_H_

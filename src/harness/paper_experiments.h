@@ -1,5 +1,20 @@
 // Ready-made SystemConfigs for every experiment in the paper's Section 5,
 // plus run helpers shared by the bench binaries.
+//
+// Each Section 5 experiment is a factory here: the baseline
+// memory-bottlenecked setup (5.1), moderate disk contention (5.2),
+// workload alternation (5.3), external sorts (5.5), multiclass (5.6),
+// and the scaled-resources variant (5.7). A factory returns a complete
+// engine::SystemConfig — hardware, database layout, workload classes,
+// and the policy under test — so a bench binary is just
+//
+//   for each policy: for each load point:
+//     Rtdbs::Create(Config(point, policy)) -> RunUntil -> report
+//
+// The configs pin the paper's Tables 2-4 parameters; callers vary only
+// the arrival rate, the policy, and the RNG seed. Simulated duration
+// comes from ExperimentDuration() below so every driver honours the
+// RTQ_SIM_HOURS override uniformly.
 
 #ifndef RTQ_HARNESS_PAPER_EXPERIMENTS_H_
 #define RTQ_HARNESS_PAPER_EXPERIMENTS_H_
@@ -12,9 +27,10 @@
 
 namespace rtq::harness {
 
-/// Simulated duration for the experiments. Defaults to the paper's 10
-/// simulated hours; override with environment variable RTQ_SIM_HOURS
-/// (e.g. RTQ_SIM_HOURS=2 for quick runs).
+/// Simulated duration for the experiments. The paper runs 10 simulated
+/// hours per point; the default here is 3 hours so the full bench suite
+/// finishes in minutes. Override with environment variable RTQ_SIM_HOURS
+/// (e.g. RTQ_SIM_HOURS=10 for paper-scale runs).
 SimTime ExperimentDuration();
 
 /// Policies compared in the baseline experiment (Figure 3).

@@ -4,6 +4,14 @@
 // relations from database relation groups, submits queries as a Poisson
 // process, and assigns each query a slack ratio uniform in
 // [slack_min, slack_max] that controls deadline tightness.
+//
+// Classes can start inactive and be (de)activated at run time; the
+// workload-alternation experiment (Section 5.3, Figures 12-14) uses this
+// to switch between the Small and Medium classes mid-run and watch PMM
+// detect the change and re-adapt. Validate() checks a spec against the
+// database layout (sorts name one relation group, joins two, groups
+// exist, rates positive) before the Source will accept it — a config
+// error fails fast at Rtdbs::Create rather than mid-simulation.
 
 #ifndef RTQ_WORKLOAD_WORKLOAD_SPEC_H_
 #define RTQ_WORKLOAD_WORKLOAD_SPEC_H_

@@ -192,7 +192,9 @@ TEST_P(StrategyInvariants, NeverOversubscribesAndRespectsBounds) {
     EXPECT_GE(out[i], 0);
     EXPECT_LE(out[i], queries[i].max_memory);
     // Admitted queries always receive at least their minimum.
-    if (out[i] > 0) EXPECT_GE(out[i], queries[i].min_memory);
+    if (out[i] > 0) {
+      EXPECT_GE(out[i], queries[i].min_memory);
+    }
     sum += out[i];
   }
   EXPECT_LE(sum, total);
@@ -214,7 +216,9 @@ TEST_P(StrategyInvariants, EdPriorityIsRespected) {
   bool seen_zero = false;
   for (PageCount a : out) {
     if (a == 0) seen_zero = true;
-    if (seen_zero) EXPECT_EQ(a, 0);
+    if (seen_zero) {
+      EXPECT_EQ(a, 0);
+    }
   }
 }
 
