@@ -15,28 +15,45 @@ int main() {
   Banner("A1 ablation: Max admission bypass vs strict ED",
          "design-choice ablation (DESIGN.md)");
 
-  harness::TablePrinter table({"lambda", "variant", "miss ratio",
-                               "avg MPL", "wait(s)"});
-  harness::CsvWriter csv({"arrival_rate", "variant", "miss_ratio",
-                          "avg_mpl", "avg_wait"});
+  const std::vector<double> rates = {0.05, 0.07};
 
-  for (double rate : {0.05, 0.07}) {
+  std::vector<harness::RunSpec> specs;
+  std::vector<std::string> labels;
+  for (double rate : rates) {
     for (bool bypass : {true, false}) {
       engine::PolicyConfig policy;
       policy.kind = engine::PolicyKind::kMax;
       policy.max_bypass = bypass;
-      engine::SystemSummary s =
-          harness::RunOnce(harness::BaselineConfig(rate, policy));
-      const char* label = bypass ? "Max (bypass)" : "Max (strict ED)";
-      table.AddRow({F(rate, 3), label, Pct(s.overall.miss_ratio),
+      labels.push_back(bypass ? "Max (bypass)" : "Max (strict ED)");
+      specs.push_back({labels.back() + " @ " + F(rate, 3),
+                       harness::BaselineConfig(rate, policy)});
+    }
+  }
+
+  auto start = Now();
+  std::vector<harness::RunResult> results = harness::RunPool(specs);
+  double wall = SecondsSince(start);
+
+  harness::TablePrinter table({"lambda", "variant", "miss ratio",
+                               "avg MPL", "wait(s)"});
+  harness::CsvWriter csv({"arrival_rate", "variant", "miss_ratio",
+                          "avg_mpl", "avg_wait"});
+  harness::BenchJsonEmitter json("ablation_admission");
+
+  size_t i = 0;
+  for (double rate : rates) {
+    for (int variant = 0; variant < 2; ++variant) {
+      const engine::SystemSummary& s = results[i].summary;
+      table.AddRow({F(rate, 3), labels[i], Pct(s.overall.miss_ratio),
                     F(s.avg_mpl, 2), F(s.overall.avg_wait, 1)});
-      csv.AddRow({F(rate, 3), label, F(s.overall.miss_ratio, 4),
+      csv.AddRow({F(rate, 3), labels[i], F(s.overall.miss_ratio, 4),
                   F(s.avg_mpl, 3), F(s.overall.avg_wait, 2)});
-      std::fflush(stdout);
+      json.AddResult(results[i], labels[i], rate);
+      ++i;
     }
   }
   table.Print();
-  csv.WriteFile("results/ablation_admission.csv");
-  std::printf("\nseries written to results/ablation_admission.csv\n");
+  WriteCsv(csv, "results/ablation_admission.csv");
+  WriteBenchJson(json, wall);
   return 0;
 }

@@ -32,12 +32,10 @@ int main() {
       {"realized-x", false, false, true},
   };
 
-  harness::TablePrinter table({"lambda", "variant", "miss ratio",
-                               "avg MPL", "adaptations"});
-  harness::CsvWriter csv({"arrival_rate", "variant", "miss_ratio",
-                          "avg_mpl", "adaptations"});
+  const std::vector<double> rates = {0.06, 0.075};
 
-  for (double rate : {0.06, 0.075}) {
+  std::vector<harness::RunSpec> specs;
+  for (double rate : rates) {
     for (const Variant& v : variants) {
       engine::PolicyConfig policy;
       policy.kind = engine::PolicyKind::kPmm;
@@ -45,20 +43,37 @@ int main() {
       config.pmm.disable_projection = v.disable_projection;
       config.pmm.disable_ru_heuristic = v.disable_ru;
       config.pmm.fit_realized_mpl = v.fit_realized;
-      auto sys = engine::Rtdbs::Create(config);
-      RTQ_CHECK_MSG(sys.ok(), sys.status().ToString().c_str());
-      sys.value()->RunUntil(harness::ExperimentDuration());
-      engine::SystemSummary s = sys.value()->Summarize();
-      int64_t adaptations = sys.value()->pmm()->adaptations();
+      specs.push_back(
+          {std::string(v.name) + " @ " + F(rate, 3), config});
+    }
+  }
+
+  auto start = Now();
+  std::vector<harness::RunResult> results = harness::RunPool(specs);
+  double wall = SecondsSince(start);
+
+  harness::TablePrinter table({"lambda", "variant", "miss ratio",
+                               "avg MPL", "adaptations"});
+  harness::CsvWriter csv({"arrival_rate", "variant", "miss_ratio",
+                          "avg_mpl", "adaptations"});
+  harness::BenchJsonEmitter json("ablation_pmm");
+
+  size_t i = 0;
+  for (double rate : rates) {
+    for (const Variant& v : variants) {
+      const engine::SystemSummary& s = results[i].summary;
+      int64_t adaptations =
+          static_cast<int64_t>(results[i].pmm_trace.size());
       table.AddRow({F(rate, 3), v.name, Pct(s.overall.miss_ratio),
                     F(s.avg_mpl, 2), std::to_string(adaptations)});
       csv.AddRow({F(rate, 3), v.name, F(s.overall.miss_ratio, 4),
                   F(s.avg_mpl, 3), std::to_string(adaptations)});
-      std::fflush(stdout);
+      json.AddResult(results[i], v.name, rate);
+      ++i;
     }
   }
   table.Print();
-  csv.WriteFile("results/ablation_pmm.csv");
-  std::printf("\nseries written to results/ablation_pmm.csv\n");
+  WriteCsv(csv, "results/ablation_pmm.csv");
+  WriteBenchJson(json, wall);
   return 0;
 }

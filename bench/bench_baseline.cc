@@ -8,7 +8,8 @@
 //   Figure 7 — memory fluctuations per query vs arrival rate
 //   Table 7  — average waiting / execution / response times
 //
-// CSV series land in results/baseline_*.csv.
+// CSV series land in results/baseline.csv; the machine-readable
+// trajectory in results/BENCH_baseline.json.
 
 #include "bench_util.h"
 
@@ -22,6 +23,18 @@ int main() {
   const std::vector<double> rates = {0.04, 0.05, 0.06, 0.07, 0.08};
   auto policies = harness::BaselinePolicies();
 
+  std::vector<harness::RunSpec> specs;
+  for (double rate : rates) {
+    for (const auto& policy : policies) {
+      specs.push_back({harness::PolicyLabel(policy) + " @ " + F(rate, 3),
+                       harness::BaselineConfig(rate, policy)});
+    }
+  }
+
+  auto start = Now();
+  std::vector<harness::RunResult> results = harness::RunPool(specs);
+  double wall = SecondsSince(start);
+
   harness::TablePrinter fig3({"lambda", "Max", "MinMax", "Proportional",
                               "PMM"});
   harness::TablePrinter fig4 = fig3;
@@ -33,13 +46,14 @@ int main() {
                           "avg_disk_util", "avg_mpl", "avg_wait",
                           "avg_exec", "avg_response", "fluctuations",
                           "miss_ci_halfwidth"});
+  harness::BenchJsonEmitter json("baseline");
 
+  size_t i = 0;
   for (double rate : rates) {
     std::vector<std::string> r3{F(rate, 3)}, r4{F(rate, 3)},
         r5{F(rate, 3)}, r7{F(rate, 3)};
     for (const auto& policy : policies) {
-      engine::SystemSummary s =
-          harness::RunOnce(harness::BaselineConfig(rate, policy));
+      const engine::SystemSummary& s = results[i].summary;
       r3.push_back(Pct(s.overall.miss_ratio));
       r4.push_back(Pct(s.avg_disk_utilization));
       r5.push_back(F(s.avg_mpl, 2));
@@ -55,7 +69,8 @@ int main() {
                   F(s.overall.avg_exec, 2), F(s.overall.avg_response, 2),
                   F(s.overall.avg_fluctuations, 3),
                   F(s.miss_ratio_ci.half_width, 4)});
-      std::fflush(stdout);
+      json.AddResult(results[i], harness::PolicyLabel(policy), rate);
+      ++i;
     }
     fig3.AddRow(r3);
     fig4.AddRow(r4);
@@ -74,8 +89,7 @@ int main() {
   std::printf("\nTable 7: average timings\n");
   table7.Print();
 
-  Status st = csv.WriteFile("results/baseline.csv");
-  if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
-  std::printf("\nseries written to results/baseline.csv\n");
+  WriteCsv(csv, "results/baseline.csv");
+  WriteBenchJson(json, wall);
   return 0;
 }

@@ -24,26 +24,40 @@ int main() {
 
   const std::vector<double> rates = {0.04, 0.05, 0.06, 0.07, 0.08};
 
+  std::vector<harness::RunSpec> specs;
+  for (double rate : rates) {
+    for (const auto& policy : policies) {
+      specs.push_back({harness::PolicyLabel(policy) + " @ " + F(rate, 3),
+                       harness::DiskContentionConfig(rate, policy)});
+    }
+  }
+
+  auto start = Now();
+  std::vector<harness::RunResult> results = harness::RunPool(specs);
+  double wall = SecondsSince(start);
+
   harness::TablePrinter fig8({"lambda", "Max", "MinMax", "MinMax-10",
                               "PMM"});
   harness::TablePrinter fig9 = fig8;
   harness::TablePrinter fig10 = fig8;
   harness::CsvWriter csv({"arrival_rate", "policy", "miss_ratio",
                           "avg_disk_util", "avg_mpl", "avg_exec"});
+  harness::BenchJsonEmitter json("disk_contention");
 
+  size_t i = 0;
   for (double rate : rates) {
     std::vector<std::string> r8{F(rate, 3)}, r9{F(rate, 3)},
         r10{F(rate, 3)};
     for (const auto& policy : policies) {
-      engine::SystemSummary s =
-          harness::RunOnce(harness::DiskContentionConfig(rate, policy));
+      const engine::SystemSummary& s = results[i].summary;
       r8.push_back(Pct(s.overall.miss_ratio));
       r9.push_back(Pct(s.avg_disk_utilization));
       r10.push_back(F(s.avg_mpl, 2));
       csv.AddRow({F(rate, 3), harness::PolicyLabel(policy),
                   F(s.overall.miss_ratio, 4), F(s.avg_disk_utilization, 4),
                   F(s.avg_mpl, 3), F(s.overall.avg_exec, 2)});
-      std::fflush(stdout);
+      json.AddResult(results[i], harness::PolicyLabel(policy), rate);
+      ++i;
     }
     fig8.AddRow(r8);
     fig9.AddRow(r9);
@@ -56,7 +70,7 @@ int main() {
   fig9.Print();
   std::printf("\nFigure 10: observed average MPL\n");
   fig10.Print();
-  csv.WriteFile("results/disk_contention.csv");
-  std::printf("\nseries written to results/disk_contention.csv\n");
+  WriteCsv(csv, "results/disk_contention.csv");
+  WriteBenchJson(json, wall);
   return 0;
 }

@@ -17,27 +17,41 @@ int main() {
   const std::vector<double> rates = {0.04, 0.06, 0.08, 0.10, 0.12};
   auto policies = harness::BaselinePolicies();
 
+  std::vector<harness::RunSpec> specs;
+  for (double rate : rates) {
+    for (const auto& policy : policies) {
+      specs.push_back({harness::PolicyLabel(policy) + " @ " + F(rate, 3),
+                       harness::ExternalSortConfig(rate, policy)});
+    }
+  }
+
+  auto start = Now();
+  std::vector<harness::RunResult> results = harness::RunPool(specs);
+  double wall = SecondsSince(start);
+
   harness::TablePrinter fig16({"lambda", "Max", "MinMax", "Proportional",
                                "PMM"});
   harness::CsvWriter csv({"arrival_rate", "policy", "miss_ratio",
                           "avg_mpl", "avg_disk_util"});
+  harness::BenchJsonEmitter json("external_sort");
 
+  size_t i = 0;
   for (double rate : rates) {
     std::vector<std::string> row{F(rate, 3)};
     for (const auto& policy : policies) {
-      engine::SystemSummary s =
-          harness::RunOnce(harness::ExternalSortConfig(rate, policy));
+      const engine::SystemSummary& s = results[i].summary;
       row.push_back(Pct(s.overall.miss_ratio));
       csv.AddRow({F(rate, 3), harness::PolicyLabel(policy),
                   F(s.overall.miss_ratio, 4), F(s.avg_mpl, 3),
                   F(s.avg_disk_utilization, 4)});
-      std::fflush(stdout);
+      json.AddResult(results[i], harness::PolicyLabel(policy), rate);
+      ++i;
     }
     fig16.AddRow(row);
   }
   std::printf("Figure 16: miss ratio, external sorts\n");
   fig16.Print();
-  csv.WriteFile("results/external_sort.csv");
-  std::printf("\nseries written to results/external_sort.csv\n");
+  WriteCsv(csv, "results/external_sort.csv");
+  WriteBenchJson(json, wall);
   return 0;
 }

@@ -12,41 +12,54 @@ int main() {
   Banner("E10: MinMax-N sweep at lambda = 0.07 (6 disks)",
          "Figure 11 (Section 5.2)");
 
+  const double rate = 0.07;
   const std::vector<int64_t> ns = {1, 2, 3, 4, 6, 8, 10, 14, 20};
+
+  std::vector<harness::RunSpec> specs;
+  std::vector<engine::PolicyConfig> policies;
+  for (int64_t n : ns) {
+    engine::PolicyConfig policy;
+    policy.kind = engine::PolicyKind::kMinMaxN;
+    policy.mpl_limit = n;
+    policies.push_back(policy);
+    specs.push_back({harness::PolicyLabel(policy),
+                     harness::DiskContentionConfig(rate, policy)});
+  }
+  // Unlimited MinMax as the right edge of the spectrum.
+  engine::PolicyConfig unlimited;
+  unlimited.kind = engine::PolicyKind::kMinMax;
+  policies.push_back(unlimited);
+  specs.push_back({harness::PolicyLabel(unlimited),
+                   harness::DiskContentionConfig(rate, unlimited)});
+
+  auto start = Now();
+  std::vector<harness::RunResult> results = harness::RunPool(specs);
+  double wall = SecondsSince(start);
 
   harness::TablePrinter table({"N", "miss ratio", "avg MPL", "wait(s)",
                                "exec(s)", "disk util"});
   harness::CsvWriter csv({"N", "miss_ratio", "avg_mpl", "avg_wait",
                           "avg_exec", "avg_disk_util"});
+  harness::BenchJsonEmitter json("minmax_n");
+  json.AddConfig("lambda_fixed", F(rate, 3));
 
-  for (int64_t n : ns) {
-    engine::PolicyConfig policy;
-    policy.kind = engine::PolicyKind::kMinMaxN;
-    policy.mpl_limit = n;
-    engine::SystemSummary s =
-        harness::RunOnce(harness::DiskContentionConfig(0.07, policy));
-    table.AddRow({std::to_string(n), Pct(s.overall.miss_ratio),
-                  F(s.avg_mpl, 2), F(s.overall.avg_wait, 1),
-                  F(s.overall.avg_exec, 1), Pct(s.avg_disk_utilization)});
-    csv.AddRow({std::to_string(n), F(s.overall.miss_ratio, 4),
-                F(s.avg_mpl, 3), F(s.overall.avg_wait, 2),
-                F(s.overall.avg_exec, 2), F(s.avg_disk_utilization, 4)});
-    std::fflush(stdout);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const engine::SystemSummary& s = results[i].summary;
+    bool is_unlimited = i + 1 == results.size();
+    std::string n_label =
+        is_unlimited ? "inf" : std::to_string(ns[i]);
+    std::string n_csv = is_unlimited ? "-1" : std::to_string(ns[i]);
+    table.AddRow({n_label, Pct(s.overall.miss_ratio), F(s.avg_mpl, 2),
+                  F(s.overall.avg_wait, 1), F(s.overall.avg_exec, 1),
+                  Pct(s.avg_disk_utilization)});
+    csv.AddRow({n_csv, F(s.overall.miss_ratio, 4), F(s.avg_mpl, 3),
+                F(s.overall.avg_wait, 2), F(s.overall.avg_exec, 2),
+                F(s.avg_disk_utilization, 4)});
+    json.AddResult(results[i], harness::PolicyLabel(policies[i]), rate);
   }
-  // Unlimited MinMax as the right edge of the spectrum.
-  engine::PolicyConfig unlimited;
-  unlimited.kind = engine::PolicyKind::kMinMax;
-  engine::SystemSummary s =
-      harness::RunOnce(harness::DiskContentionConfig(0.07, unlimited));
-  table.AddRow({"inf", Pct(s.overall.miss_ratio), F(s.avg_mpl, 2),
-                F(s.overall.avg_wait, 1), F(s.overall.avg_exec, 1),
-                Pct(s.avg_disk_utilization)});
-  csv.AddRow({"-1", F(s.overall.miss_ratio, 4), F(s.avg_mpl, 3),
-              F(s.overall.avg_wait, 2), F(s.overall.avg_exec, 2),
-              F(s.avg_disk_utilization, 4)});
 
   table.Print();
-  csv.WriteFile("results/minmax_n.csv");
-  std::printf("\nseries written to results/minmax_n.csv\n");
+  WriteCsv(csv, "results/minmax_n.csv");
+  WriteBenchJson(json, wall);
   return 0;
 }

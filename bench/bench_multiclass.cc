@@ -22,18 +22,33 @@ int main() {
   policies[1].kind = engine::PolicyKind::kMinMax;
   policies[2].kind = engine::PolicyKind::kPmm;
 
+  std::vector<harness::RunSpec> specs;
+  for (double rate : small_rates) {
+    for (const auto& policy : policies) {
+      specs.push_back({harness::PolicyLabel(policy) + " @ small " +
+                           F(rate, 2),
+                       harness::MulticlassConfig(rate, policy)});
+    }
+  }
+
+  auto start = Now();
+  std::vector<harness::RunResult> results = harness::RunPool(specs);
+  double wall = SecondsSince(start);
+
   harness::TablePrinter fig17({"small rate", "Max", "MinMax", "PMM"});
   harness::TablePrinter fig18({"small rate", "PMM Medium", "PMM Small",
                                "PMM system"});
   harness::CsvWriter csv({"small_rate", "policy", "system_miss",
                           "medium_miss", "small_miss"});
+  harness::BenchJsonEmitter json("multiclass");
+  json.AddConfig("medium_rate_fixed", F(0.065, 3));
 
+  size_t i = 0;
   for (double rate : small_rates) {
     std::vector<std::string> r17{F(rate, 2)};
     std::vector<std::string> r18{F(rate, 2)};
     for (size_t p = 0; p < policies.size(); ++p) {
-      engine::SystemSummary s =
-          harness::RunOnce(harness::MulticlassConfig(rate, policies[p]));
+      const engine::SystemSummary& s = results[i].summary;
       r17.push_back(Pct(s.overall.miss_ratio));
       double medium = s.per_class.empty() ? 0.0
                                           : s.per_class[0].miss_ratio;
@@ -41,12 +56,13 @@ int main() {
           s.per_class.size() > 1 ? s.per_class[1].miss_ratio : 0.0;
       csv.AddRow({F(rate, 2), harness::PolicyLabel(policies[p]),
                   F(s.overall.miss_ratio, 4), F(medium, 4), F(small, 4)});
+      json.AddResult(results[i], harness::PolicyLabel(policies[p]), rate);
       if (policies[p].kind == engine::PolicyKind::kPmm) {
         r18.push_back(Pct(medium));
         r18.push_back(rate > 0.0 ? Pct(small) : std::string("-"));
         r18.push_back(Pct(s.overall.miss_ratio));
       }
-      std::fflush(stdout);
+      ++i;
     }
     fig17.AddRow(r17);
     fig18.AddRow(r18);
@@ -55,7 +71,7 @@ int main() {
   fig17.Print();
   std::printf("\nFigure 18: PMM per-class miss ratios\n");
   fig18.Print();
-  csv.WriteFile("results/multiclass.csv");
-  std::printf("\nseries written to results/multiclass.csv\n");
+  WriteCsv(csv, "results/multiclass.csv");
+  WriteBenchJson(json, wall);
   return 0;
 }

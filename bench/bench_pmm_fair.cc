@@ -18,12 +18,11 @@ int main() {
   Banner("A3 extension: PMM-Fair class-fairness",
          "Section 5.6 future work, realized");
 
-  harness::TablePrinter table({"small rate", "policy", "system",
-                               "Medium", "Small", "|gap|"});
-  harness::CsvWriter csv({"small_rate", "policy", "system_miss",
-                          "medium_miss", "small_miss", "gap"});
+  const std::vector<double> small_rates = {0.4, 0.8, 1.2};
 
-  for (double rate : {0.4, 0.8, 1.2}) {
+  std::vector<harness::RunSpec> specs;
+  std::vector<engine::PolicyConfig> policies;
+  for (double rate : small_rates) {
     for (int variant = 0; variant < 2; ++variant) {
       engine::PolicyConfig policy;
       if (variant == 0) {
@@ -32,24 +31,44 @@ int main() {
         policy.kind = engine::PolicyKind::kPmmFair;
         policy.fair_weights = {1.0, 1.0};  // ask for equal miss ratios
       }
-      engine::SystemSummary s =
-          harness::RunOnce(harness::MulticlassConfig(rate, policy));
+      policies.push_back(policy);
+      specs.push_back({harness::PolicyLabel(policy) + " @ small " +
+                           F(rate, 2),
+                       harness::MulticlassConfig(rate, policy)});
+    }
+  }
+
+  auto start = Now();
+  std::vector<harness::RunResult> results = harness::RunPool(specs);
+  double wall = SecondsSince(start);
+
+  harness::TablePrinter table({"small rate", "policy", "system",
+                               "Medium", "Small", "|gap|"});
+  harness::CsvWriter csv({"small_rate", "policy", "system_miss",
+                          "medium_miss", "small_miss", "gap"});
+  harness::BenchJsonEmitter json("pmm_fair");
+
+  size_t i = 0;
+  for (double rate : small_rates) {
+    for (int variant = 0; variant < 2; ++variant) {
+      const engine::SystemSummary& s = results[i].summary;
       double medium = s.per_class.empty() ? 0.0
                                           : s.per_class[0].miss_ratio;
       double small =
           s.per_class.size() > 1 ? s.per_class[1].miss_ratio : 0.0;
       double gap = std::fabs(medium - small);
-      table.AddRow({F(rate, 2), harness::PolicyLabel(policy),
+      table.AddRow({F(rate, 2), harness::PolicyLabel(policies[i]),
                     Pct(s.overall.miss_ratio), Pct(medium), Pct(small),
                     Pct(gap)});
-      csv.AddRow({F(rate, 2), harness::PolicyLabel(policy),
+      csv.AddRow({F(rate, 2), harness::PolicyLabel(policies[i]),
                   F(s.overall.miss_ratio, 4), F(medium, 4), F(small, 4),
                   F(gap, 4)});
-      std::fflush(stdout);
+      json.AddResult(results[i], harness::PolicyLabel(policies[i]), rate);
+      ++i;
     }
   }
   table.Print();
-  csv.WriteFile("results/pmm_fair.csv");
-  std::printf("\nseries written to results/pmm_fair.csv\n");
+  WriteCsv(csv, "results/pmm_fair.csv");
+  WriteBenchJson(json, wall);
   return 0;
 }

@@ -14,22 +14,23 @@ int main() {
   Banner("E5: PMM target-MPL trace at lambda = 0.075",
          "Figure 6 (Section 5.1)");
 
+  const double rate = 0.075;
   engine::PolicyConfig policy;
   policy.kind = engine::PolicyKind::kPmm;
-  engine::SystemConfig config = harness::BaselineConfig(0.075, policy);
-  auto sys = engine::Rtdbs::Create(config);
-  if (!sys.ok()) {
-    std::fprintf(stderr, "%s\n", sys.status().ToString().c_str());
-    return 1;
-  }
-  sys.value()->RunUntil(harness::ExperimentDuration());
+  std::vector<harness::RunSpec> specs = {
+      {"PMM @ " + F(rate, 3), harness::BaselineConfig(rate, policy)}};
+
+  auto start = Now();
+  std::vector<harness::RunResult> results = harness::RunPool(specs);
+  double wall = SecondsSince(start);
+  const harness::RunResult& run = results[0];
 
   harness::TablePrinter table({"t(s)", "mode", "target MPL",
                                "realized MPL", "batch miss", "util",
                                "curve"});
   harness::CsvWriter csv({"time_s", "mode", "target_mpl", "realized_mpl",
                           "batch_miss_ratio", "bottleneck_util", "curve"});
-  for (const auto& p : sys.value()->pmm()->trace()) {
+  for (const auto& p : run.pmm_trace) {
     const char* mode =
         p.mode == core::PmmController::Mode::kMax ? "Max" : "MinMax";
     table.AddRow({F(p.time, 0), mode, std::to_string(p.target_mpl),
@@ -43,11 +44,16 @@ int main() {
   }
   table.Print();
 
-  engine::SystemSummary s = sys.value()->Summarize();
+  const engine::SystemSummary& s = run.summary;
   std::printf("\noverall: %lld queries, miss %.1f%%, avg MPL %.2f\n",
               static_cast<long long>(s.overall.completions),
               s.overall.miss_ratio * 100.0, s.avg_mpl);
-  csv.WriteFile("results/pmm_trace.csv");
-  std::printf("series written to results/pmm_trace.csv\n");
+
+  harness::BenchJsonEmitter json("pmm_trace");
+  json.AddConfig("adaptations",
+                 std::to_string(run.pmm_trace.size()));
+  json.AddResult(run, harness::PolicyLabel(policy), rate);
+  WriteCsv(csv, "results/pmm_trace.csv");
+  WriteBenchJson(json, wall);
   return 0;
 }

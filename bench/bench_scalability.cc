@@ -20,26 +20,42 @@ int main() {
   policies[1].kind = engine::PolicyKind::kMinMax;
   policies[2].kind = engine::PolicyKind::kPmm;
 
-  harness::TablePrinter table({"scale", "policy", "miss ratio", "avg MPL",
-                               "disk util", "queries"});
-  harness::CsvWriter csv({"scale", "policy", "miss_ratio", "avg_mpl",
-                          "avg_disk_util", "completions"});
-
   const double rate = 0.07;
-  for (double scale : {1.0, 10.0}) {
+  const std::vector<double> scales = {1.0, 10.0};
+
+  std::vector<harness::RunSpec> specs;
+  for (double scale : scales) {
     for (const auto& policy : policies) {
-      engine::SystemConfig config =
-          harness::ScaledConfig(rate, policy, scale);
+      harness::RunSpec spec;
+      spec.label =
+          harness::PolicyLabel(policy) + " @ scale " + F(scale, 0);
+      spec.config = harness::ScaledConfig(rate, policy, scale);
       // The scaled system completes 10x fewer queries per hour; run it
       // longer so the row has a usable sample, but cap the multiplier —
       // each scaled query also costs ~10x the simulation events, so a
       // full 10x duration would take a couple of orders of magnitude
       // more wall time than every other experiment combined.
-      double multiplier = std::min(scale, 3.0);
-      auto sys = engine::Rtdbs::Create(config);
-      RTQ_CHECK_MSG(sys.ok(), sys.status().ToString().c_str());
-      sys.value()->RunUntil(harness::ExperimentDuration() * multiplier);
-      engine::SystemSummary s = sys.value()->Summarize();
+      spec.duration =
+          harness::ExperimentDuration() * std::min(scale, 3.0);
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  auto start = Now();
+  std::vector<harness::RunResult> results = harness::RunPool(specs);
+  double wall = SecondsSince(start);
+
+  harness::TablePrinter table({"scale", "policy", "miss ratio", "avg MPL",
+                               "disk util", "queries"});
+  harness::CsvWriter csv({"scale", "policy", "miss_ratio", "avg_mpl",
+                          "avg_disk_util", "completions"});
+  harness::BenchJsonEmitter json("scalability");
+  json.AddConfig("base_rate", F(rate, 3));
+
+  size_t i = 0;
+  for (double scale : scales) {
+    for (const auto& policy : policies) {
+      const engine::SystemSummary& s = results[i].summary;
       table.AddRow({F(scale, 0), harness::PolicyLabel(policy),
                     Pct(s.overall.miss_ratio), F(s.avg_mpl, 2),
                     Pct(s.avg_disk_utilization),
@@ -48,11 +64,14 @@ int main() {
                   F(s.overall.miss_ratio, 4), F(s.avg_mpl, 3),
                   F(s.avg_disk_utilization, 4),
                   std::to_string(s.overall.completions)});
-      std::fflush(stdout);
+      // lambda records the effective (scaled-down) arrival rate.
+      json.AddResult(results[i], harness::PolicyLabel(policy),
+                     rate / scale);
+      ++i;
     }
   }
   table.Print();
-  csv.WriteFile("results/scalability.csv");
-  std::printf("\nseries written to results/scalability.csv\n");
+  WriteCsv(csv, "results/scalability.csv");
+  WriteBenchJson(json, wall);
   return 0;
 }

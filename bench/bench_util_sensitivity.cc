@@ -12,28 +12,42 @@ int main() {
   Banner("E13: PMM sensitivity to UtilLow",
          "Section 5.4 (prose experiment)");
 
-  harness::TablePrinter table({"UtilLow", "miss ratio", "avg MPL",
-                               "disk util"});
-  harness::CsvWriter csv({"util_low", "miss_ratio", "avg_mpl",
-                          "avg_disk_util"});
+  const double rate = 0.065;
+  const std::vector<double> util_lows = {0.50, 0.60, 0.70, 0.80};
 
-  for (double util_low : {0.50, 0.60, 0.70, 0.80}) {
+  std::vector<harness::RunSpec> specs;
+  for (double util_low : util_lows) {
     engine::PolicyConfig policy;
     policy.kind = engine::PolicyKind::kPmm;
-    engine::SystemConfig config = harness::BaselineConfig(0.065, policy);
+    engine::SystemConfig config = harness::BaselineConfig(rate, policy);
     config.pmm.util_low = util_low;
     if (config.pmm.util_high <= util_low) {
       config.pmm.util_high = util_low + 0.05;
     }
-    engine::SystemSummary s = harness::RunOnce(config);
-    table.AddRow({F(util_low, 2), Pct(s.overall.miss_ratio),
+    specs.push_back({"UtilLow=" + F(util_low, 2), config});
+  }
+
+  auto start = Now();
+  std::vector<harness::RunResult> results = harness::RunPool(specs);
+  double wall = SecondsSince(start);
+
+  harness::TablePrinter table({"UtilLow", "miss ratio", "avg MPL",
+                               "disk util"});
+  harness::CsvWriter csv({"util_low", "miss_ratio", "avg_mpl",
+                          "avg_disk_util"});
+  harness::BenchJsonEmitter json("util_sensitivity");
+  json.AddConfig("lambda_fixed", F(rate, 3));
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    const engine::SystemSummary& s = results[i].summary;
+    table.AddRow({F(util_lows[i], 2), Pct(s.overall.miss_ratio),
                   F(s.avg_mpl, 2), Pct(s.avg_disk_utilization)});
-    csv.AddRow({F(util_low, 2), F(s.overall.miss_ratio, 4),
+    csv.AddRow({F(util_lows[i], 2), F(s.overall.miss_ratio, 4),
                 F(s.avg_mpl, 3), F(s.avg_disk_utilization, 4)});
-    std::fflush(stdout);
+    json.AddResult(results[i], "PMM", rate);
   }
   table.Print();
-  csv.WriteFile("results/util_sensitivity.csv");
-  std::printf("\nseries written to results/util_sensitivity.csv\n");
+  WriteCsv(csv, "results/util_sensitivity.csv");
+  WriteBenchJson(json, wall);
   return 0;
 }

@@ -5,6 +5,12 @@
 // Regenerates Figures 12-14 (per-interval miss ratios under Max, MinMax,
 // PMM) and Figure 15 (PMM's MPL trace across the alternation), and
 // reports how many workload changes PMM's detector flagged.
+//
+// The three policies are independent systems, so they run as three pool
+// jobs with a custom body that interleaves RunUntil with Source
+// activation flips and stashes the per-interval window summaries.
+
+#include <chrono>
 
 #include "bench_util.h"
 
@@ -14,44 +20,6 @@ struct IntervalResult {
   bool medium;
   rtq::engine::ClassSummary summary;
 };
-
-std::vector<IntervalResult> RunAlternating(
-    const rtq::engine::PolicyConfig& policy, int intervals,
-    double interval_hours, const rtq::engine::Rtdbs** out_sys,
-    std::unique_ptr<rtq::engine::Rtdbs>* holder) {
-  using namespace rtq;
-  engine::SystemConfig config = harness::WorkloadChangeConfig(
-      policy, /*medium_active=*/true, /*small_active=*/false);
-  auto sys = engine::Rtdbs::Create(config);
-  RTQ_CHECK_MSG(sys.ok(), sys.status().ToString().c_str());
-  *holder = std::move(sys).value();
-  engine::Rtdbs& rtdbs = **holder;
-  *out_sys = &rtdbs;
-
-  std::vector<IntervalResult> results;
-  double interval_s = interval_hours * 3600.0;
-  for (int i = 0; i < intervals; ++i) {
-    bool medium = i % 2 == 0;
-    if (i > 0) {
-      if (medium) {
-        rtdbs.source().Deactivate(1);
-        rtdbs.source().Activate(0);
-      } else {
-        rtdbs.source().Deactivate(0);
-        rtdbs.source().Activate(1);
-      }
-    }
-    double from = i * interval_s;
-    double to = (i + 1) * interval_s;
-    rtdbs.RunUntil(to);
-    IntervalResult r;
-    r.medium = medium;
-    r.summary = engine::MetricsCollector::WindowSummary(
-        rtdbs.metrics().records(), from, to, /*query_class=*/-1);
-    results.push_back(r);
-  }
-  return results;
-}
 
 }  // namespace
 
@@ -63,8 +31,7 @@ int main() {
          "Figures 12, 13, 14, 15 (Section 5.3)");
 
   const int intervals = 6;
-  const double interval_hours =
-      harness::ExperimentDuration() / 3600.0 / 2.5;
+  const double interval_s = harness::ExperimentDuration() / 2.5;
 
   std::vector<engine::PolicyConfig> policies(3);
   policies[0].kind = engine::PolicyKind::kMax;
@@ -72,24 +39,77 @@ int main() {
   policies[2].kind = engine::PolicyKind::kPmm;
   const char* names[] = {"Max", "MinMax", "PMM"};
 
+  std::vector<harness::RunSpec> specs;
+  for (int p = 0; p < 3; ++p) {
+    specs.push_back({names[p],
+                     harness::WorkloadChangeConfig(
+                         policies[p], /*medium_active=*/true,
+                         /*small_active=*/false)});
+  }
+
+  // Each job writes only its own slot, so no synchronization is needed.
+  std::vector<std::vector<IntervalResult>> all(specs.size());
+
+  auto run_alternating = [&](const harness::RunSpec& spec, size_t index) {
+    harness::RunResult result;
+    result.label = spec.label;
+    result.config = spec.config;
+    auto t0 = std::chrono::steady_clock::now();
+    auto sys = engine::Rtdbs::Create(spec.config);
+    RTQ_CHECK_MSG(sys.ok(), sys.status().ToString().c_str());
+    engine::Rtdbs& rtdbs = *sys.value();
+
+    for (int i = 0; i < intervals; ++i) {
+      bool medium = i % 2 == 0;
+      if (i > 0) {
+        if (medium) {
+          rtdbs.source().Deactivate(1);
+          rtdbs.source().Activate(0);
+        } else {
+          rtdbs.source().Deactivate(0);
+          rtdbs.source().Activate(1);
+        }
+      }
+      double from = i * interval_s;
+      double to = (i + 1) * interval_s;
+      rtdbs.RunUntil(to);
+      IntervalResult r;
+      r.medium = medium;
+      r.summary = engine::MetricsCollector::WindowSummary(
+          rtdbs.metrics().records(), from, to, /*query_class=*/-1);
+      all[index].push_back(r);
+    }
+
+    result.summary = rtdbs.Summarize();
+    if (rtdbs.pmm() != nullptr) result.pmm_trace = rtdbs.pmm()->trace();
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+  };
+
+  auto start = Now();
+  std::vector<harness::RunResult> results =
+      harness::RunPool(specs, harness::BenchJobs(), run_alternating);
+  double wall = SecondsSince(start);
+
   harness::TablePrinter table({"interval", "class", "Max", "MinMax",
                                "PMM"});
   harness::CsvWriter csv({"interval", "class", "policy", "miss_ratio",
                           "completions"});
+  harness::BenchJsonEmitter json("workload_changes");
+  json.AddConfig("intervals", std::to_string(intervals));
+  json.AddConfig("interval_hours", F(interval_s / 3600.0, 2));
 
-  std::vector<std::vector<IntervalResult>> all;
-  const engine::Rtdbs* pmm_sys = nullptr;
-  std::unique_ptr<engine::Rtdbs> holders[3];
-  for (int p = 0; p < 3; ++p) {
-    const engine::Rtdbs* sys = nullptr;
-    all.push_back(RunAlternating(policies[p], intervals, interval_hours,
-                                 &sys, &holders[p]));
-    if (p == 2) pmm_sys = sys;
+  for (size_t p = 0; p < specs.size(); ++p) {
     for (int i = 0; i < intervals; ++i) {
       csv.AddRow({std::to_string(i), all[p][i].medium ? "Medium" : "Small",
                   names[p], F(all[p][i].summary.miss_ratio, 4),
                   std::to_string(all[p][i].summary.completions)});
     }
+    // lambda records the Medium-class rate; the alternation schedule
+    // lives under "config".
+    json.AddResult(results[p], names[p], 0.07);
   }
 
   for (int i = 0; i < intervals; ++i) {
@@ -107,7 +127,7 @@ int main() {
   harness::TablePrinter trace({"t(s)", "mode", "target MPL",
                                "workload change?"});
   int64_t changes = 0;
-  for (const auto& pt : pmm_sys->pmm()->trace()) {
+  for (const auto& pt : results[2].pmm_trace) {
     changes += pt.workload_change;
     trace.AddRow({F(pt.time, 0),
                   pt.mode == core::PmmController::Mode::kMax ? "Max"
@@ -118,7 +138,7 @@ int main() {
   trace.Print();
   std::printf("\nPMM detected %lld workload changes over %d alternations\n",
               static_cast<long long>(changes), intervals - 1);
-  csv.WriteFile("results/workload_changes.csv");
-  std::printf("series written to results/workload_changes.csv\n");
+  WriteCsv(csv, "results/workload_changes.csv");
+  WriteBenchJson(json, wall);
   return 0;
 }

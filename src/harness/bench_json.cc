@@ -1,0 +1,243 @@
+#include "harness/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+#include "common/check.h"
+#include "harness/paper_experiments.h"
+
+#ifndef RTQ_GIT_DESCRIBE
+#define RTQ_GIT_DESCRIBE "unknown"
+#endif
+
+namespace rtq::harness {
+
+// --- JsonWriter ------------------------------------------------------------
+
+std::string JsonWriter::Escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (unsigned char ch : raw) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Comma() {
+  if (pending_key_) {
+    // A value following its key: the comma (if any) was written with the
+    // key itself.
+    pending_key_ = false;
+    return;
+  }
+  if (has_value_.back()) out_ += ',';
+  has_value_.back() = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Comma();
+  out_ += '{';
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  RTQ_CHECK(has_value_.size() > 1 && !pending_key_);
+  has_value_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Comma();
+  out_ += '[';
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  RTQ_CHECK(has_value_.size() > 1 && !pending_key_);
+  has_value_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& name) {
+  RTQ_CHECK(!pending_key_);
+  if (has_value_.back()) out_ += ',';
+  has_value_.back() = true;
+  out_ += '"';
+  out_ += Escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  Comma();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  Comma();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  Comma();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  Comma();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+// --- BenchJsonEmitter ------------------------------------------------------
+
+std::string GitDescribe() {
+  if (const char* env = std::getenv("RTQ_GIT_DESCRIBE")) {
+    if (env[0] != '\0') return env;
+  }
+  return RTQ_GIT_DESCRIBE;
+}
+
+BenchJsonEmitter::BenchJsonEmitter(std::string driver)
+    : driver_(std::move(driver)) {}
+
+void BenchJsonEmitter::AddResult(const RunResult& result,
+                                 const std::string& policy, double lambda) {
+  Point point;
+  point.label = result.label;
+  point.policy = policy;
+  point.lambda = lambda;
+  point.miss_ratio = result.summary.overall.miss_ratio;
+  point.disk_util = result.summary.avg_disk_utilization;
+  point.avg_mpl = result.summary.avg_mpl;
+  point.avg_wait_s = result.summary.overall.avg_wait;
+  point.avg_exec_s = result.summary.overall.avg_exec;
+  point.avg_response_s = result.summary.overall.avg_response;
+  point.completions = result.summary.overall.completions;
+  point.misses = result.summary.overall.misses;
+  point.events = static_cast<int64_t>(result.summary.events_dispatched);
+  point.wall_seconds = result.wall_seconds;
+  points_.push_back(std::move(point));
+}
+
+void BenchJsonEmitter::AddConfig(const std::string& key,
+                                 const std::string& value) {
+  extra_config_.emplace_back(key, value);
+}
+
+std::string BenchJsonEmitter::ToJson(double total_wall_seconds) const {
+  int64_t total_events = 0;
+  for (const Point& p : points_) total_events += p.events;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("driver").String(driver_);
+  w.Key("schema_version").Int(1);
+  w.Key("git").String(GitDescribe());
+
+  w.Key("config").BeginObject();
+  w.Key("sim_hours").Number(ExperimentDuration() / 3600.0);
+  w.Key("jobs").Int(BenchJobs());
+  w.Key("hardware_concurrency")
+      .Int(static_cast<int64_t>(std::thread::hardware_concurrency()));
+  for (const auto& [key, value] : extra_config_) w.Key(key).String(value);
+  w.EndObject();
+
+  w.Key("points").BeginArray();
+  for (const Point& p : points_) {
+    w.BeginObject();
+    w.Key("label").String(p.label);
+    w.Key("policy").String(p.policy);
+    w.Key("lambda").Number(p.lambda);
+    w.Key("miss_ratio").Number(p.miss_ratio);
+    w.Key("disk_util").Number(p.disk_util);
+    w.Key("avg_mpl").Number(p.avg_mpl);
+    w.Key("avg_wait_s").Number(p.avg_wait_s);
+    w.Key("avg_exec_s").Number(p.avg_exec_s);
+    w.Key("avg_response_s").Number(p.avg_response_s);
+    w.Key("completions").Int(p.completions);
+    w.Key("misses").Int(p.misses);
+    w.Key("events").Int(p.events);
+    w.Key("wall_seconds").Number(p.wall_seconds);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("totals").BeginObject();
+  w.Key("wall_seconds").Number(total_wall_seconds);
+  w.Key("events").Int(total_events);
+  w.Key("events_per_second")
+      .Number(total_wall_seconds > 0.0
+                  ? static_cast<double>(total_events) / total_wall_seconds
+                  : 0.0);
+  w.EndObject();
+
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+std::string BenchJsonEmitter::path() const {
+  return "results/BENCH_" + driver_ + ".json";
+}
+
+Status BenchJsonEmitter::WriteFile(double total_wall_seconds) const {
+  std::string file = path();
+  std::error_code ec;
+  std::filesystem::path p(file);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) return Status::Internal("mkdir failed: " + ec.message());
+  }
+  FILE* f = std::fopen(file.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot open " + file);
+  std::string data = ToJson(total_wall_seconds);
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) return Status::Internal("short write to " + file);
+  return Status::Ok();
+}
+
+}  // namespace rtq::harness

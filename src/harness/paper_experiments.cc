@@ -186,13 +186,6 @@ engine::SystemConfig ScaledConfig(double arrival_rate,
   return config;
 }
 
-engine::SystemSummary RunOnce(const engine::SystemConfig& config) {
-  auto sys = engine::Rtdbs::Create(config);
-  RTQ_CHECK_MSG(sys.ok(), sys.status().ToString().c_str());
-  sys.value()->RunUntil(ExperimentDuration());
-  return sys.value()->Summarize();
-}
-
 std::string PolicyLabel(const engine::PolicyConfig& policy) {
   switch (policy.kind) {
     case engine::PolicyKind::kMax:

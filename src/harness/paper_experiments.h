@@ -6,10 +6,9 @@
 // workload alternation (5.3), external sorts (5.5), multiclass (5.6),
 // and the scaled-resources variant (5.7). A factory returns a complete
 // engine::SystemConfig — hardware, database layout, workload classes,
-// and the policy under test — so a bench binary is just
-//
-//   for each policy: for each load point:
-//     Rtdbs::Create(Config(point, policy)) -> RunUntil -> report
+// and the policy under test — so a bench binary just builds one
+// RunSpec{label, Config(point, policy)} per point and hands the batch
+// to harness::RunPool (runner.h), which runs them in parallel.
 //
 // The configs pin the paper's Tables 2-4 parameters; callers vary only
 // the arrival rate, the policy, and the RNG seed. Simulated duration
@@ -74,10 +73,6 @@ engine::SystemConfig MulticlassConfig(double small_rate,
 engine::SystemConfig ScaledConfig(double arrival_rate,
                                   const engine::PolicyConfig& policy,
                                   double scale, uint64_t seed = 42);
-
-/// Builds the system, runs it for ExperimentDuration(), returns the
-/// summary. Aborts on configuration errors (bench binaries are internal).
-engine::SystemSummary RunOnce(const engine::SystemConfig& config);
 
 /// Convenience: short policy label for tables ("Max", "MinMax-10", ...).
 std::string PolicyLabel(const engine::PolicyConfig& policy);

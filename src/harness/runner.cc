@@ -1,0 +1,120 @@
+#include "harness/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "common/check.h"
+#include "engine/rtdbs.h"
+#include "harness/paper_experiments.h"
+
+namespace rtq::harness {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The default job body: build the system, run it for the spec's
+/// duration (or ExperimentDuration()), summarize, keep the PMM trace.
+RunResult RunJob(const RunSpec& spec) {
+  RunResult result;
+  result.label = spec.label;
+  result.config = spec.config;
+  auto start = std::chrono::steady_clock::now();
+  auto sys = engine::Rtdbs::Create(spec.config);
+  RTQ_CHECK_MSG(sys.ok(), sys.status().ToString().c_str());
+  SimTime until = spec.duration > 0.0 ? spec.duration : ExperimentDuration();
+  sys.value()->RunUntil(until);
+  result.summary = sys.value()->Summarize();
+  if (sys.value()->pmm() != nullptr) {
+    result.pmm_trace = sys.value()->pmm()->trace();
+  }
+  result.wall_seconds = SecondsSince(start);
+  return result;
+}
+
+std::vector<RunResult> RunPoolImpl(const std::vector<RunSpec>& specs,
+                                   int jobs, const RunJobFn& fn,
+                                   bool progress) {
+  const size_t n = specs.size();
+  std::vector<RunResult> results(n);
+  if (n == 0) return results;
+
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+
+  auto worker = [&]() {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        results[i] = fn(specs[i], i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (progress) {
+        // stderr so the stdout tables stay clean; one line per job, in
+        // completion (not submission) order.
+        std::fprintf(stderr, "[%zu/%zu] %s (%.1fs)\n", finished, n,
+                     results[i].label.c_str(), results[i].wall_seconds);
+      }
+    }
+  };
+
+  int workers = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(std::max(jobs, 1)), n));
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  // Forward the first failure by submission order, after every worker
+  // has drained (so no thread outlives the rethrow).
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+}  // namespace
+
+int BenchJobs() {
+  if (const char* env = std::getenv("RTQ_BENCH_JOBS")) {
+    int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+std::vector<RunResult> RunPool(const std::vector<RunSpec>& specs, int jobs) {
+  return RunPoolImpl(
+      specs, jobs,
+      [](const RunSpec& spec, size_t) { return RunJob(spec); },
+      /*progress=*/true);
+}
+
+std::vector<RunResult> RunPool(const std::vector<RunSpec>& specs) {
+  return RunPool(specs, BenchJobs());
+}
+
+std::vector<RunResult> RunPool(const std::vector<RunSpec>& specs, int jobs,
+                               const RunJobFn& fn) {
+  return RunPoolImpl(specs, jobs, fn, /*progress=*/false);
+}
+
+}  // namespace rtq::harness

@@ -1,0 +1,82 @@
+// Parallel experiment runner: a std::thread pool over independent
+// (config, duration) simulation points.
+//
+// Every Section 5 sweep is embarrassingly parallel — each (policy,
+// arrival-rate) point builds its own Rtdbs with its own RNG and event
+// calendar, so the only ordering the bench drivers need is in the
+// *aggregation* step. RunPool exploits that: it runs RunOnce-equivalent
+// jobs on min(jobs, specs) worker threads and returns the results in
+// submission order, so a driver becomes
+//
+//   build specs -> RunPool -> print tables -> emit CSV + BENCH_*.json
+//
+// and the suite's wall time drops by roughly the core count. With the
+// same seeds, a parallel run produces bit-identical summaries to a
+// sequential one (each simulation is single-threaded; only the schedule
+// of whole jobs changes).
+//
+// Worker count: RTQ_BENCH_JOBS when set (>0), else
+// std::thread::hardware_concurrency(). The first failing job (lowest
+// submission index) is rethrown from RunPool after all workers join.
+
+#ifndef RTQ_HARNESS_RUNNER_H_
+#define RTQ_HARNESS_RUNNER_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/pmm.h"
+#include "engine/metrics.h"
+#include "engine/system_config.h"
+
+namespace rtq::harness {
+
+/// One simulation point submitted to the pool.
+struct RunSpec {
+  /// Free-form label echoed into the result (and the BENCH_*.json point).
+  std::string label;
+  engine::SystemConfig config;
+  /// Simulated duration in seconds; <= 0 means ExperimentDuration().
+  SimTime duration = 0.0;
+};
+
+/// One completed simulation point, in submission order.
+struct RunResult {
+  std::string label;
+  engine::SystemConfig config;  ///< echo of the spec's config
+  engine::SystemSummary summary;
+  /// The PMM adaptation trace, copied out before the system is torn
+  /// down; empty for non-PMM policies.
+  std::vector<core::PmmController::TracePoint> pmm_trace;
+  /// Real (not simulated) seconds this job took.
+  double wall_seconds = 0.0;
+};
+
+/// Worker count: RTQ_BENCH_JOBS override (> 0), else
+/// hardware_concurrency(), else 1.
+int BenchJobs();
+
+/// A custom job body for sweeps that need more than "run until T and
+/// summarize" (e.g. mid-run workload alternation). Receives the spec and
+/// its submission index; whatever it returns lands at that index.
+using RunJobFn = std::function<RunResult(const RunSpec& spec, size_t index)>;
+
+/// Runs the default job (build Rtdbs, RunUntil, Summarize, capture the
+/// PMM trace) for every spec on min(jobs, specs.size()) workers.
+/// Results preserve submission order. Progress lines go to stderr.
+std::vector<RunResult> RunPool(const std::vector<RunSpec>& specs, int jobs);
+
+/// RunPool with jobs = BenchJobs().
+std::vector<RunResult> RunPool(const std::vector<RunSpec>& specs);
+
+/// RunPool with a custom job body (no progress lines). Exceptions thrown
+/// by `fn` are captured per job; after all workers join, the failure with
+/// the lowest submission index is rethrown.
+std::vector<RunResult> RunPool(const std::vector<RunSpec>& specs, int jobs,
+                               const RunJobFn& fn);
+
+}  // namespace rtq::harness
+
+#endif  // RTQ_HARNESS_RUNNER_H_
