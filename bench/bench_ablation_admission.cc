@@ -21,9 +21,7 @@ int main() {
   std::vector<std::string> labels;
   for (double rate : rates) {
     for (bool bypass : {true, false}) {
-      engine::PolicyConfig policy;
-      policy.kind = engine::PolicyKind::kMax;
-      policy.max_bypass = bypass;
+      engine::PolicyConfig policy{bypass ? "max" : "max:strict"};
       labels.push_back(bypass ? "Max (bypass)" : "Max (strict ED)");
       specs.push_back({labels.back() + " @ " + F(rate, 3),
                        harness::BaselineConfig(rate, policy)});

@@ -37,9 +37,8 @@ int main() {
   std::vector<harness::RunSpec> specs;
   for (double rate : rates) {
     for (const Variant& v : variants) {
-      engine::PolicyConfig policy;
-      policy.kind = engine::PolicyKind::kPmm;
-      engine::SystemConfig config = harness::BaselineConfig(rate, policy);
+      engine::SystemConfig config =
+          harness::BaselineConfig(rate, {"pmm"});
       config.pmm.disable_projection = v.disable_projection;
       config.pmm.disable_ru_heuristic = v.disable_ru;
       config.pmm.fit_realized_mpl = v.fit_realized;

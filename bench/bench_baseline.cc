@@ -21,7 +21,7 @@ int main() {
          "Figures 3, 4, 5, 7 and Table 7 (Section 5.1)");
 
   const std::vector<double> rates = {0.04, 0.05, 0.06, 0.07, 0.08};
-  auto policies = harness::BaselinePolicies();
+  auto policies = harness::PoliciesOrDefault(harness::BaselinePolicies());
 
   std::vector<harness::RunSpec> specs;
   for (double rate : rates) {
@@ -35,8 +35,7 @@ int main() {
   std::vector<harness::RunResult> results = harness::RunPool(specs);
   double wall = SecondsSince(start);
 
-  harness::TablePrinter fig3({"lambda", "Max", "MinMax", "Proportional",
-                              "PMM"});
+  harness::TablePrinter fig3(harness::PolicyColumns("lambda", policies));
   harness::TablePrinter fig4 = fig3;
   harness::TablePrinter fig5 = fig3;
   harness::TablePrinter fig7 = fig3;

@@ -15,12 +15,8 @@ int main() {
   Banner("E7-E9: moderate disk contention (6 disks)",
          "Figures 8, 9, 10 (Section 5.2)");
 
-  std::vector<engine::PolicyConfig> policies(4);
-  policies[0].kind = engine::PolicyKind::kMax;
-  policies[1].kind = engine::PolicyKind::kMinMax;
-  policies[2].kind = engine::PolicyKind::kMinMaxN;
-  policies[2].mpl_limit = 10;
-  policies[3].kind = engine::PolicyKind::kPmm;
+  auto policies = harness::PoliciesOrDefault(
+      {{"max"}, {"minmax"}, {"minmax:10"}, {"pmm"}});
 
   const std::vector<double> rates = {0.04, 0.05, 0.06, 0.07, 0.08};
 
@@ -36,8 +32,7 @@ int main() {
   std::vector<harness::RunResult> results = harness::RunPool(specs);
   double wall = SecondsSince(start);
 
-  harness::TablePrinter fig8({"lambda", "Max", "MinMax", "MinMax-10",
-                              "PMM"});
+  harness::TablePrinter fig8(harness::PolicyColumns("lambda", policies));
   harness::TablePrinter fig9 = fig8;
   harness::TablePrinter fig10 = fig8;
   harness::CsvWriter csv({"arrival_rate", "policy", "miss_ratio",

@@ -15,7 +15,7 @@ int main() {
   Banner("E14: external-sort workload", "Figure 16 (Section 5.5)");
 
   const std::vector<double> rates = {0.04, 0.06, 0.08, 0.10, 0.12};
-  auto policies = harness::BaselinePolicies();
+  auto policies = harness::PoliciesOrDefault(harness::BaselinePolicies());
 
   std::vector<harness::RunSpec> specs;
   for (double rate : rates) {
@@ -29,8 +29,7 @@ int main() {
   std::vector<harness::RunResult> results = harness::RunPool(specs);
   double wall = SecondsSince(start);
 
-  harness::TablePrinter fig16({"lambda", "Max", "MinMax", "Proportional",
-                               "PMM"});
+  harness::TablePrinter fig16(harness::PolicyColumns("lambda", policies));
   harness::CsvWriter csv({"arrival_rate", "policy", "miss_ratio",
                           "avg_mpl", "avg_disk_util"});
   harness::BenchJsonEmitter json("external_sort");

@@ -1,12 +1,16 @@
 // Micro-benchmarks (google-benchmark) of the hot substrates: the event
 // calendar, the least-squares fits PMM recomputes every batch, the
-// allocation strategies, and the LRU page cache.
+// allocation strategies, the LRU page cache, the disk geometry model,
+// the MemoryManager reallocation path, and policy-registry dispatch.
 
 #include <benchmark/benchmark.h>
 
 #include "buffer/lru_cache.h"
 #include "common/rng.h"
+#include "core/memory_manager.h"
+#include "core/policy_registry.h"
 #include "core/strategy.h"
+#include "model/disk_geometry.h"
 #include "sim/event_queue.h"
 #include "stats/quadratic_fit.h"
 
@@ -106,5 +110,67 @@ void BM_LruCacheChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LruCacheChurn);
+
+// The per-request disk timing model: every simulated I/O pays one
+// AccessTime evaluation, so this sits squarely on the event hot path.
+void BM_DiskGeometryAccessTime(benchmark::State& state) {
+  rtq::Rng rng(7);
+  rtq::model::DiskGeometry geometry{rtq::model::DiskParams{}};
+  const rtq::PageCount capacity = geometry.params().capacity();
+  std::vector<std::pair<rtq::Cylinder, rtq::PageCount>> accesses;
+  for (int i = 0; i < 1024; ++i) {
+    accesses.emplace_back(
+        static_cast<rtq::Cylinder>(
+            rng.UniformInt(0, geometry.params().num_cylinders - 1)),
+        rng.UniformInt(0, capacity - 64));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto [head, start] = accesses[i++ & 1023];
+    benchmark::DoNotOptimize(geometry.AccessTime(head, start, 6));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiskGeometryAccessTime);
+
+// MemoryManager::Reallocate with N live queries: the full recompute the
+// engine triggers on every arrival, completion, and policy revision.
+void BM_MemoryManagerReallocate(benchmark::State& state) {
+  rtq::Rng rng(8);
+  rtq::core::MemoryManager mm(
+      2560, std::make_unique<rtq::core::MinMaxStrategy>(-1),
+      [](rtq::QueryId, rtq::PageCount) {});
+  for (int i = 0; i < state.range(0); ++i) {
+    rtq::core::MemRequest q;
+    q.id = static_cast<rtq::QueryId>(i);
+    q.deadline = rng.Uniform(0.0, 1000.0);
+    q.min_memory = 38;
+    q.max_memory = rng.UniformInt(600, 2000);
+    mm.AddQuery(q);
+  }
+  for (auto _ : state) {
+    mm.Reallocate();
+    benchmark::DoNotOptimize(mm.allocated_pages());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MemoryManagerReallocate)->Arg(16)->Arg(128);
+
+// Spec string -> policy instance through the registry: the dispatch
+// cost the PolicyRegistry redesign added to system construction (it
+// runs once per Rtdbs::Create, so it only needs to stay trivially
+// cheap, not free).
+void BM_PolicyRegistryCreate(benchmark::State& state) {
+  const std::string specs[] = {"max", "minmax:10", "pmm",
+                               "pmm-fair:w=1,2"};
+  size_t i = 0;
+  for (auto _ : state) {
+    auto policy =
+        rtq::core::PolicyRegistry::Global().Create(specs[i++ & 3]);
+    benchmark::DoNotOptimize(policy.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicyRegistryCreate);
 
 }  // namespace

@@ -13,24 +13,21 @@ int main() {
          "Figure 11 (Section 5.2)");
 
   const double rate = 0.07;
-  const std::vector<int64_t> ns = {1, 2, 3, 4, 6, 8, 10, 14, 20};
+
+  // The default sweep: MinMax-N for the paper's N values, with
+  // unlimited MinMax as the right edge of the spectrum.
+  std::vector<engine::PolicyConfig> defaults;
+  for (int64_t n : {1, 2, 3, 4, 6, 8, 10, 14, 20}) {
+    defaults.push_back({"minmax:" + std::to_string(n)});
+  }
+  defaults.push_back({"minmax"});
+  auto policies = harness::PoliciesOrDefault(defaults);
 
   std::vector<harness::RunSpec> specs;
-  std::vector<engine::PolicyConfig> policies;
-  for (int64_t n : ns) {
-    engine::PolicyConfig policy;
-    policy.kind = engine::PolicyKind::kMinMaxN;
-    policy.mpl_limit = n;
-    policies.push_back(policy);
+  for (const auto& policy : policies) {
     specs.push_back({harness::PolicyLabel(policy),
                      harness::DiskContentionConfig(rate, policy)});
   }
-  // Unlimited MinMax as the right edge of the spectrum.
-  engine::PolicyConfig unlimited;
-  unlimited.kind = engine::PolicyKind::kMinMax;
-  policies.push_back(unlimited);
-  specs.push_back({harness::PolicyLabel(unlimited),
-                   harness::DiskContentionConfig(rate, unlimited)});
 
   auto start = Now();
   std::vector<harness::RunResult> results = harness::RunPool(specs);
@@ -45,10 +42,19 @@ int main() {
 
   for (size_t i = 0; i < results.size(); ++i) {
     const engine::SystemSummary& s = results[i].summary;
-    bool is_unlimited = i + 1 == results.size();
-    std::string n_label =
-        is_unlimited ? "inf" : std::to_string(ns[i]);
-    std::string n_csv = is_unlimited ? "-1" : std::to_string(ns[i]);
+    // Derive the N column from the spec: "minmax:5" -> 5, bare
+    // "minmax" -> inf; anything else (RTQ_POLICIES override) is shown
+    // by its label.
+    std::string spec = policies[i].ResolvedSpec();
+    std::string n_label, n_csv;
+    if (spec == "minmax") {
+      n_label = "inf";
+      n_csv = "-1";
+    } else if (spec.rfind("minmax:", 0) == 0) {
+      n_label = n_csv = spec.substr(7);
+    } else {
+      n_label = n_csv = harness::PolicyLabel(policies[i]);
+    }
     table.AddRow({n_label, Pct(s.overall.miss_ratio), F(s.avg_mpl, 2),
                   F(s.overall.avg_wait, 1), F(s.overall.avg_exec, 1),
                   Pct(s.avg_disk_utilization)});

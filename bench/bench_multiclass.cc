@@ -17,10 +17,12 @@ int main() {
 
   const std::vector<double> small_rates = {0.0, 0.2, 0.4, 0.6, 0.8,
                                            1.0, 1.2};
-  std::vector<engine::PolicyConfig> policies(3);
-  policies[0].kind = engine::PolicyKind::kMax;
-  policies[1].kind = engine::PolicyKind::kMinMax;
-  policies[2].kind = engine::PolicyKind::kPmm;
+  auto policies =
+      harness::PoliciesOrDefault({{"max"}, {"minmax"}, {"pmm"}});
+  bool have_pmm = false;
+  for (const auto& policy : policies) {
+    have_pmm = have_pmm || policy.ResolvedSpec() == "pmm";
+  }
 
   std::vector<harness::RunSpec> specs;
   for (double rate : small_rates) {
@@ -35,7 +37,8 @@ int main() {
   std::vector<harness::RunResult> results = harness::RunPool(specs);
   double wall = SecondsSince(start);
 
-  harness::TablePrinter fig17({"small rate", "Max", "MinMax", "PMM"});
+  harness::TablePrinter fig17(
+      harness::PolicyColumns("small rate", policies));
   harness::TablePrinter fig18({"small rate", "PMM Medium", "PMM Small",
                                "PMM system"});
   harness::CsvWriter csv({"small_rate", "policy", "system_miss",
@@ -57,7 +60,7 @@ int main() {
       csv.AddRow({F(rate, 2), harness::PolicyLabel(policies[p]),
                   F(s.overall.miss_ratio, 4), F(medium, 4), F(small, 4)});
       json.AddResult(results[i], harness::PolicyLabel(policies[p]), rate);
-      if (policies[p].kind == engine::PolicyKind::kPmm) {
+      if (policies[p].ResolvedSpec() == "pmm") {
         r18.push_back(Pct(medium));
         r18.push_back(rate > 0.0 ? Pct(small) : std::string("-"));
         r18.push_back(Pct(s.overall.miss_ratio));
@@ -69,8 +72,10 @@ int main() {
   }
   std::printf("Figure 17: system miss ratio\n");
   fig17.Print();
-  std::printf("\nFigure 18: PMM per-class miss ratios\n");
-  fig18.Print();
+  if (have_pmm) {
+    std::printf("\nFigure 18: PMM per-class miss ratios\n");
+    fig18.Print();
+  }
   WriteCsv(csv, "results/multiclass.csv");
   WriteBenchJson(json, wall);
   return 0;

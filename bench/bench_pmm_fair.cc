@@ -20,17 +20,13 @@ int main() {
 
   const std::vector<double> small_rates = {0.4, 0.8, 1.2};
 
+  // "pmm-fair:w=1,1" asks for equal miss ratios across the two classes.
+  auto variants = harness::PoliciesOrDefault({{"pmm"}, {"pmm-fair:w=1,1"}});
+
   std::vector<harness::RunSpec> specs;
   std::vector<engine::PolicyConfig> policies;
   for (double rate : small_rates) {
-    for (int variant = 0; variant < 2; ++variant) {
-      engine::PolicyConfig policy;
-      if (variant == 0) {
-        policy.kind = engine::PolicyKind::kPmm;
-      } else {
-        policy.kind = engine::PolicyKind::kPmmFair;
-        policy.fair_weights = {1.0, 1.0};  // ask for equal miss ratios
-      }
+    for (const auto& policy : variants) {
       policies.push_back(policy);
       specs.push_back({harness::PolicyLabel(policy) + " @ small " +
                            F(rate, 2),
@@ -50,7 +46,7 @@ int main() {
 
   size_t i = 0;
   for (double rate : small_rates) {
-    for (int variant = 0; variant < 2; ++variant) {
+    for (size_t variant = 0; variant < variants.size(); ++variant) {
       const engine::SystemSummary& s = results[i].summary;
       double medium = s.per_class.empty() ? 0.0
                                           : s.per_class[0].miss_ratio;

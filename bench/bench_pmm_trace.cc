@@ -15,8 +15,7 @@ int main() {
          "Figure 6 (Section 5.1)");
 
   const double rate = 0.075;
-  engine::PolicyConfig policy;
-  policy.kind = engine::PolicyKind::kPmm;
+  engine::PolicyConfig policy{"pmm"};
   std::vector<harness::RunSpec> specs = {
       {"PMM @ " + F(rate, 3), harness::BaselineConfig(rate, policy)}};
 

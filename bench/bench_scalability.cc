@@ -15,10 +15,8 @@ int main() {
   Banner("E17: scale-up check (sizes x10, rate /10)",
          "Section 5.7 (prose experiment)");
 
-  std::vector<engine::PolicyConfig> policies(3);
-  policies[0].kind = engine::PolicyKind::kMax;
-  policies[1].kind = engine::PolicyKind::kMinMax;
-  policies[2].kind = engine::PolicyKind::kPmm;
+  auto policies =
+      harness::PoliciesOrDefault({{"max"}, {"minmax"}, {"pmm"}});
 
   const double rate = 0.07;
   const std::vector<double> scales = {1.0, 10.0};

@@ -17,9 +17,8 @@ int main() {
 
   std::vector<harness::RunSpec> specs;
   for (double util_low : util_lows) {
-    engine::PolicyConfig policy;
-    policy.kind = engine::PolicyKind::kPmm;
-    engine::SystemConfig config = harness::BaselineConfig(rate, policy);
+    engine::SystemConfig config =
+        harness::BaselineConfig(rate, {"pmm"});
     config.pmm.util_low = util_low;
     if (config.pmm.util_high <= util_low) {
       config.pmm.util_high = util_low + 0.05;

@@ -33,14 +33,19 @@ int main() {
   const int intervals = 6;
   const double interval_s = harness::ExperimentDuration() / 2.5;
 
-  std::vector<engine::PolicyConfig> policies(3);
-  policies[0].kind = engine::PolicyKind::kMax;
-  policies[1].kind = engine::PolicyKind::kMinMax;
-  policies[2].kind = engine::PolicyKind::kPmm;
-  const char* names[] = {"Max", "MinMax", "PMM"};
+  auto policies =
+      harness::PoliciesOrDefault({{"max"}, {"minmax"}, {"pmm"}});
+  std::vector<std::string> names;
+  int pmm_index = -1;
+  for (size_t p = 0; p < policies.size(); ++p) {
+    names.push_back(harness::PolicyLabel(policies[p]));
+    if (policies[p].ResolvedSpec() == "pmm") {
+      pmm_index = static_cast<int>(p);
+    }
+  }
 
   std::vector<harness::RunSpec> specs;
-  for (int p = 0; p < 3; ++p) {
+  for (size_t p = 0; p < policies.size(); ++p) {
     specs.push_back({names[p],
                      harness::WorkloadChangeConfig(
                          policies[p], /*medium_active=*/true,
@@ -93,8 +98,9 @@ int main() {
       harness::RunPool(specs, harness::BenchJobs(), run_alternating);
   double wall = SecondsSince(start);
 
-  harness::TablePrinter table({"interval", "class", "Max", "MinMax",
-                               "PMM"});
+  std::vector<std::string> interval_columns{"interval", "class"};
+  for (const std::string& name : names) interval_columns.push_back(name);
+  harness::TablePrinter table(interval_columns);
   harness::CsvWriter csv({"interval", "class", "policy", "miss_ratio",
                           "completions"});
   harness::BenchJsonEmitter json("workload_changes");
@@ -113,31 +119,35 @@ int main() {
   }
 
   for (int i = 0; i < intervals; ++i) {
-    table.AddRow({std::to_string(i + 1),
-                  all[0][i].medium ? "Medium" : "Small",
-                  Pct(all[0][i].summary.miss_ratio),
-                  Pct(all[1][i].summary.miss_ratio),
-                  Pct(all[2][i].summary.miss_ratio)});
+    std::vector<std::string> row{std::to_string(i + 1),
+                                 all[0][i].medium ? "Medium" : "Small"};
+    for (size_t p = 0; p < specs.size(); ++p) {
+      row.push_back(Pct(all[p][i].summary.miss_ratio));
+    }
+    table.AddRow(row);
   }
   std::printf("Figures 12-14: per-interval miss ratios\n");
   table.Print();
 
-  // Figure 15: PMM MPL / mode trace.
-  std::printf("\nFigure 15: PMM adaptation across workload changes\n");
-  harness::TablePrinter trace({"t(s)", "mode", "target MPL",
-                               "workload change?"});
-  int64_t changes = 0;
-  for (const auto& pt : results[2].pmm_trace) {
-    changes += pt.workload_change;
-    trace.AddRow({F(pt.time, 0),
-                  pt.mode == core::PmmController::Mode::kMax ? "Max"
-                                                             : "MinMax",
-                  std::to_string(pt.target_mpl),
-                  pt.workload_change ? "YES" : ""});
+  if (pmm_index >= 0) {
+    // Figure 15: PMM MPL / mode trace.
+    std::printf("\nFigure 15: PMM adaptation across workload changes\n");
+    harness::TablePrinter trace({"t(s)", "mode", "target MPL",
+                                 "workload change?"});
+    int64_t changes = 0;
+    for (const auto& pt : results[static_cast<size_t>(pmm_index)].pmm_trace) {
+      changes += pt.workload_change;
+      trace.AddRow({F(pt.time, 0),
+                    pt.mode == core::PmmController::Mode::kMax ? "Max"
+                                                               : "MinMax",
+                    std::to_string(pt.target_mpl),
+                    pt.workload_change ? "YES" : ""});
+    }
+    trace.Print();
+    std::printf(
+        "\nPMM detected %lld workload changes over %d alternations\n",
+        static_cast<long long>(changes), intervals - 1);
   }
-  trace.Print();
-  std::printf("\nPMM detected %lld workload changes over %d alternations\n",
-              static_cast<long long>(changes), intervals - 1);
   WriteCsv(csv, "results/workload_changes.csv");
   WriteBenchJson(json, wall);
   return 0;

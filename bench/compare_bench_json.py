@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json trajectory against a baseline trajectory.
+
+Closes the perf-tracking loop from ROADMAP.md: given the baseline
+trajectory checked in under results/ and a freshly produced one, this
+diffs the headline events/sec figure and the per-point miss ratios, and
+exits non-zero when either regresses beyond its threshold.
+
+    bench/compare_bench_json.py CURRENT BASELINE \
+        [--max-events-regression 0.10] [--max-miss-drift 0.02] \
+        [--require-same-points]
+
+* events/sec: fails when current totals.events_per_second falls more
+  than --max-events-regression (fraction, default 0.10 = the ROADMAP's
+  10%) below the baseline's. Improvements never fail.
+* per-point miss ratio: points are matched by label; a matched point
+  fails when |current - baseline| miss ratio exceeds --max-miss-drift
+  (absolute, default 0.02). With identical simulated duration and seeds
+  the simulator is deterministic, so any drift at --max-miss-drift 0
+  means behaviour changed.
+* unmatched points are reported; they fail only with
+  --require-same-points (sweeps grown on purpose stay comparable).
+
+Notes for CI: the checked-in baseline was recorded at RTQ_SIM_HOURS=3 on
+a known machine. A smoke run (RTQ_SIM_HOURS=0.1, shared runner) is
+neither the same simulation length nor the same hardware, so CI passes
+--max-miss-drift tuned for smoke noise and relies on the nightly/local
+full runs for the tight comparison.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    for key in ("driver", "points", "totals"):
+        if key not in doc:
+            sys.exit(f"error: {path}: not a BENCH_*.json document "
+                     f"(missing '{key}')")
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("current", help="fresh BENCH_*.json")
+    parser.add_argument("baseline", help="reference BENCH_*.json")
+    parser.add_argument("--max-events-regression", type=float, default=0.10,
+                        metavar="FRAC",
+                        help="max tolerated drop in events/sec (default 0.10)")
+    parser.add_argument("--max-miss-drift", type=float, default=0.02,
+                        metavar="ABS",
+                        help="max tolerated |miss ratio delta| per point "
+                             "(default 0.02)")
+    parser.add_argument("--require-same-points", action="store_true",
+                        help="fail when the two files' point labels differ")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    failures = []
+
+    if current["driver"] != baseline["driver"]:
+        failures.append(f"driver mismatch: {current['driver']} vs "
+                        f"{baseline['driver']}")
+
+    # --- headline throughput ----------------------------------------------
+    cur_eps = current["totals"].get("events_per_second", 0.0)
+    base_eps = baseline["totals"].get("events_per_second", 0.0)
+    if base_eps > 0:
+        delta = (cur_eps - base_eps) / base_eps
+        marker = "OK"
+        if delta < -args.max_events_regression:
+            marker = "FAIL"
+            failures.append(
+                f"events/sec regressed {-delta:.1%} "
+                f"(limit {args.max_events_regression:.0%}): "
+                f"{cur_eps:,.0f} vs baseline {base_eps:,.0f}")
+        print(f"[{marker:4}] events/sec: {cur_eps:,.0f} vs {base_eps:,.0f} "
+              f"({delta:+.1%})")
+
+    # --- per-point miss ratios --------------------------------------------
+    base_points = {p["label"]: p for p in baseline["points"]}
+    cur_points = {p["label"]: p for p in current["points"]}
+    matched = 0
+    for label, point in cur_points.items():
+        base = base_points.get(label)
+        if base is None:
+            continue
+        matched += 1
+        drift = point["miss_ratio"] - base["miss_ratio"]
+        marker = "OK"
+        if abs(drift) > args.max_miss_drift:
+            marker = "FAIL"
+            failures.append(
+                f"miss ratio drifted at '{label}': "
+                f"{point['miss_ratio']:.4f} vs {base['miss_ratio']:.4f} "
+                f"(|{drift:+.4f}| > {args.max_miss_drift})")
+        print(f"[{marker:4}] {label}: miss {point['miss_ratio']:.4f} vs "
+              f"{base['miss_ratio']:.4f} ({drift:+.4f})")
+
+    only_current = sorted(set(cur_points) - set(base_points))
+    only_baseline = sorted(set(base_points) - set(cur_points))
+    for label in only_current:
+        print(f"[note] point only in current: '{label}'")
+    for label in only_baseline:
+        print(f"[note] point only in baseline: '{label}'")
+    if args.require_same_points and (only_current or only_baseline):
+        failures.append(
+            f"point sets differ: {len(only_current)} new, "
+            f"{len(only_baseline)} missing")
+    if matched == 0:
+        failures.append("no points matched between the two files")
+
+    print(f"\n{matched} matched point(s), {len(failures)} failure(s)")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

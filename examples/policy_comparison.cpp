@@ -1,9 +1,13 @@
-// Compares the four memory-management policies of the paper on the
-// baseline workload at one arrival rate, printing a compact scoreboard.
+// Compares memory-management policies on the baseline workload at one
+// arrival rate, printing a compact scoreboard.
 //
 //   $ ./build/examples/policy_comparison [arrival_rate] [hours]
 //
-// Defaults: 0.075 queries/second, 3 simulated hours.
+// Defaults: 0.075 queries/second, 3 simulated hours, the paper's four
+// policies. Any registered policies can be compared instead via the
+// RTQ_POLICIES override, e.g.:
+//
+//   $ RTQ_POLICIES="pmm,none,oracle-ed" ./build/examples/policy_comparison
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,7 +34,8 @@ int main(int argc, char** argv) {
   harness::TablePrinter table({"policy", "queries", "miss ratio", "avg MPL",
                                "wait(s)", "exec(s)", "disk util"});
 
-  for (const engine::PolicyConfig& policy : harness::BaselinePolicies()) {
+  for (const engine::PolicyConfig& policy :
+       harness::PoliciesOrDefault(harness::BaselinePolicies())) {
     engine::SystemConfig config = harness::BaselineConfig(rate, policy);
     auto sys = engine::Rtdbs::Create(config);
     if (!sys.ok()) {

@@ -15,11 +15,11 @@ int main() {
   using namespace rtq;
 
   // The paper's baseline: one class of hash joins, memory-bottlenecked
-  // (10 disks, 40 MIPS, 20 MB of buffers), PMM managing memory.
-  engine::PolicyConfig policy;
-  policy.kind = engine::PolicyKind::kPmm;
+  // (10 disks, 40 MIPS, 20 MB of buffers), PMM managing memory. The
+  // policy is a registry spec string — try "max", "minmax:5", "none",
+  // or "oracle-ed" (see core/policy_registry.h for the grammar).
   engine::SystemConfig config =
-      harness::BaselineConfig(/*arrival_rate=*/0.06, policy);
+      harness::BaselineConfig(/*arrival_rate=*/0.06, {"pmm"});
 
   auto sys = engine::Rtdbs::Create(config);
   if (!sys.ok()) {

@@ -23,10 +23,8 @@ int main(int argc, char** argv) {
   }
   const double interval_s = 3600.0;
 
-  engine::PolicyConfig policy;
-  policy.kind = engine::PolicyKind::kPmm;
   engine::SystemConfig config = harness::WorkloadChangeConfig(
-      policy, /*medium_active=*/true, /*small_active=*/false);
+      {"pmm"}, /*medium_active=*/true, /*small_active=*/false);
 
   auto sys = engine::Rtdbs::Create(config);
   if (!sys.ok()) {

@@ -20,6 +20,10 @@ struct MemRequest {
   int32_t query_class = -1;
   PageCount min_memory = 0;
   PageCount max_memory = 0;
+  /// Cost-model estimate of the stand-alone execution time at the
+  /// maximum allocation (Section 4.1's deadline basis). Lets clairvoyant
+  /// policies judge feasibility; 0 when no estimate exists.
+  SimTime standalone_estimate = 0.0;
 };
 
 /// Result: out[i] is the allocation for ed_sorted[i]; 0 = not admitted.

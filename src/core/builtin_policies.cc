@@ -1,0 +1,227 @@
+// The paper's five policies (Sections 3.1-3.2, 5.6) as registered
+// MemoryPolicy plugins:
+//
+//   "max[:strict]"    — MaxStrategy; ":strict" disables admission bypass
+//   "minmax[:N]"      — MinMax-N; N omitted = MinMax-infinity
+//   "prop[:N]"        — Proportional-N; N omitted = unlimited
+//   "pmm"             — the adaptive PMM controller
+//   "pmm-fair[:w=..]" — PMM + Section 5.6 fairness; w = one desired
+//                       relative miss ratio per class, comma-separated
+//                       (omitted = equal weights for every class)
+//
+// This file is also the template for new policies: everything a policy
+// needs — factory, lifecycle, registration — lives in one translation
+// unit (see src/policies/ for two out-of-tree examples).
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/memory_policy.h"
+#include "core/pmm_fair.h"
+#include "core/policy_registry.h"
+#include "core/strategy.h"
+
+namespace rtq::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Static strategies: one fixed AllocationStrategy for the whole run.
+// ---------------------------------------------------------------------------
+
+class StaticStrategyPolicy : public MemoryPolicy {
+ public:
+  using StrategyFactory =
+      std::function<std::unique_ptr<AllocationStrategy>()>;
+
+  StaticStrategyPolicy(std::string spec, std::string display,
+                       StrategyFactory make)
+      : spec_(std::move(spec)),
+        display_(std::move(display)),
+        make_(std::move(make)) {}
+
+  Status Attach(const PolicyHost& host) override {
+    host.mm->SetStrategy(make_());
+    return Status::Ok();
+  }
+
+  std::string Describe() const override { return spec_; }
+  std::string DisplayName() const override { return display_; }
+
+ private:
+  std::string spec_;
+  std::string display_;
+  StrategyFactory make_;
+};
+
+StatusOr<std::unique_ptr<MemoryPolicy>> MakeMaxPolicy(
+    const PolicySpec& spec) {
+  bool strict = false;
+  if (spec.args == "strict") {
+    strict = true;
+  } else if (!spec.args.empty()) {
+    return Status::InvalidArgument("max takes no argument or ':strict', got '" +
+                                   spec.args + "'");
+  }
+  std::string canonical = strict ? "max:strict" : "max";
+  std::string display = strict ? "Max(strict)" : "Max";
+  return std::unique_ptr<MemoryPolicy>(new StaticStrategyPolicy(
+      canonical, display,
+      [strict] { return std::make_unique<MaxStrategy>(!strict); }));
+}
+
+/// Shared factory body for the two -N families.
+template <typename StrategyT>
+StatusOr<std::unique_ptr<MemoryPolicy>> MakeLimitPolicy(
+    const PolicySpec& spec, const char* family) {
+  int64_t n = -1;
+  if (!spec.args.empty()) {
+    auto parsed = ParseSpecInt(spec.args);
+    if (!parsed.ok()) return parsed.status();
+    n = parsed.value();
+    if (n < 1) {
+      return Status::InvalidArgument(std::string(family) +
+                                     ": N must be >= 1, got " + spec.args);
+    }
+  }
+  std::string canonical =
+      n < 0 ? spec.name : spec.name + ":" + std::to_string(n);
+  std::string display =
+      n < 0 ? family : std::string(family) + "-" + std::to_string(n);
+  return std::unique_ptr<MemoryPolicy>(new StaticStrategyPolicy(
+      canonical, display, [n] { return std::make_unique<StrategyT>(n); }));
+}
+
+// ---------------------------------------------------------------------------
+// PMM and PMM-Fair: controller-driven adaptive policies.
+// ---------------------------------------------------------------------------
+
+class PmmPolicy : public MemoryPolicy {
+ public:
+  Status Attach(const PolicyHost& host) override {
+    RTQ_RETURN_IF_ERROR(host.pmm.Validate());
+    controller_ =
+        std::make_unique<PmmController>(host.pmm, host.mm, host.probe);
+    return Status::Ok();
+  }
+
+  void OnQueryEvent(const QueryEvent& event) override {
+    if (event.kind == QueryEvent::Kind::kCompletion) {
+      controller_->OnQueryFinished(event.info);
+    }
+  }
+
+  std::string Describe() const override { return "pmm"; }
+  std::string DisplayName() const override { return "PMM"; }
+  const PmmController* pmm_controller() const override {
+    return controller_.get();
+  }
+
+ private:
+  std::unique_ptr<PmmController> controller_;
+};
+
+class PmmFairPolicy : public MemoryPolicy {
+ public:
+  explicit PmmFairPolicy(std::vector<double> weights)
+      : weights_(std::move(weights)) {}
+
+  Status Attach(const PolicyHost& host) override {
+    RTQ_RETURN_IF_ERROR(host.pmm.Validate());
+    std::vector<double> weights = weights_;
+    if (weights.empty()) {
+      // No w= argument: ask for equal miss ratios across all classes.
+      weights.assign(static_cast<size_t>(host.num_classes), 1.0);
+    }
+    if (static_cast<int32_t>(weights.size()) != host.num_classes) {
+      return Status::InvalidArgument(
+          "pmm-fair needs one weight per workload class (" +
+          std::to_string(weights.size()) + " weights, " +
+          std::to_string(host.num_classes) + " classes)");
+    }
+    if (weights.empty()) {
+      return Status::InvalidArgument("pmm-fair needs at least one class");
+    }
+    controller_ = std::make_unique<PmmFairController>(host.pmm, host.mm,
+                                                      host.probe, weights);
+    return Status::Ok();
+  }
+
+  void OnQueryEvent(const QueryEvent& event) override {
+    if (event.kind == QueryEvent::Kind::kCompletion) {
+      controller_->OnQueryFinished(event.info);
+    }
+  }
+
+  std::string Describe() const override {
+    return weights_.empty() ? "pmm-fair"
+                            : "pmm-fair:w=" + FormatSpecDoubleList(weights_);
+  }
+  std::string DisplayName() const override { return "PMM-Fair"; }
+  const PmmController* pmm_controller() const override {
+    return controller_.get();
+  }
+
+ private:
+  std::vector<double> weights_;
+  std::unique_ptr<PmmFairController> controller_;
+};
+
+StatusOr<std::unique_ptr<MemoryPolicy>> MakePmmFairPolicy(
+    const PolicySpec& spec) {
+  std::vector<double> weights;
+  if (!spec.args.empty()) {
+    auto kv = ParseSpecKeyValue(spec.args);
+    if (!kv.ok()) return kv.status();
+    if (kv.value().first != "w") {
+      return Status::InvalidArgument("pmm-fair: unknown argument '" +
+                                     kv.value().first + "' (expected w=...)");
+    }
+    auto parsed = ParseSpecDoubleList(kv.value().second);
+    if (!parsed.ok()) return parsed.status();
+    weights = std::move(parsed).value();
+    for (double w : weights) {
+      if (!std::isfinite(w) || w <= 0.0) {
+        return Status::InvalidArgument(
+            "pmm-fair: weights must be finite and > 0");
+      }
+    }
+  }
+  return std::unique_ptr<MemoryPolicy>(new PmmFairPolicy(std::move(weights)));
+}
+
+// ---------------------------------------------------------------------------
+// Registrations.
+// ---------------------------------------------------------------------------
+
+RTQ_REGISTER_POLICY("max", "max[:strict] — all-or-nothing maximum allocations",
+                    MakeMaxPolicy);
+RTQ_REGISTER_POLICY(
+    "minmax", "minmax[:N] — min-then-max top-up, MPL capped at N",
+    [](const PolicySpec& spec) {
+      return MakeLimitPolicy<MinMaxStrategy>(spec, "MinMax");
+    });
+RTQ_REGISTER_POLICY(
+    "prop", "prop[:N] — equal fraction of each maximum, MPL capped at N",
+    [](const PolicySpec& spec) {
+      return MakeLimitPolicy<ProportionalStrategy>(spec, "Proportional");
+    });
+RTQ_REGISTER_POLICY("pmm", "pmm — adaptive Priority Memory Management",
+                    [](const PolicySpec& spec)
+                        -> StatusOr<std::unique_ptr<MemoryPolicy>> {
+                      if (!spec.args.empty()) {
+                        return Status::InvalidArgument(
+                            "pmm takes no arguments (tune via "
+                            "SystemConfig::pmm), got '" +
+                            spec.args + "'");
+                      }
+                      return std::unique_ptr<MemoryPolicy>(new PmmPolicy());
+                    });
+RTQ_REGISTER_POLICY("pmm-fair",
+                    "pmm-fair[:w=w1,w2,...] — PMM + class fairness",
+                    MakePmmFairPolicy);
+
+}  // namespace
+}  // namespace rtq::core

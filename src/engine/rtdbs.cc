@@ -6,7 +6,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
-#include "core/pmm_fair.h"
+#include "core/policy_registry.h"
 #include "core/strategy.h"
 
 namespace rtq::engine {
@@ -199,49 +199,26 @@ Status Rtdbs::Init() {
   temp_ = std::make_unique<storage::TempSpace>(*db_, config_.disk);
   pool_ = std::make_unique<buffer::BufferPool>(config_.memory_pages);
 
-  // Memory-management policy.
-  std::unique_ptr<core::AllocationStrategy> strategy;
-  switch (config_.policy.kind) {
-    case PolicyKind::kMax:
-      strategy =
-          std::make_unique<core::MaxStrategy>(config_.policy.max_bypass);
-      break;
-    case PolicyKind::kMinMax:
-      strategy = std::make_unique<core::MinMaxStrategy>(-1);
-      break;
-    case PolicyKind::kMinMaxN:
-      strategy =
-          std::make_unique<core::MinMaxStrategy>(config_.policy.mpl_limit);
-      break;
-    case PolicyKind::kProportional:
-      strategy = std::make_unique<core::ProportionalStrategy>(-1);
-      break;
-    case PolicyKind::kProportionalN:
-      strategy = std::make_unique<core::ProportionalStrategy>(
-          config_.policy.mpl_limit);
-      break;
-    case PolicyKind::kPmm:
-    case PolicyKind::kPmmFair:
-      // The controller installs its own strategy after construction.
-      strategy = std::make_unique<core::MaxStrategy>();
-      break;
-  }
+  // Memory-management policy: resolve the spec string through the
+  // registry. The manager starts on a placeholder strategy; Attach
+  // installs the policy's real one before any query exists.
   mm_ = std::make_unique<core::MemoryManager>(
-      config_.memory_pages, std::move(strategy),
+      config_.memory_pages, std::make_unique<core::MaxStrategy>(),
       [this](QueryId id, PageCount pages) { ApplyAllocation(id, pages); });
 
-  if (config_.policy.kind == PolicyKind::kPmm ||
-      config_.policy.kind == PolicyKind::kPmmFair) {
-    probe_ = std::make_unique<ProbeImpl>(this);
-    if (config_.policy.kind == PolicyKind::kPmm) {
-      controller_ = std::make_unique<core::PmmController>(
-          config_.pmm, mm_.get(), probe_.get());
-    } else {
-      controller_ = std::make_unique<core::PmmFairController>(
-          config_.pmm, mm_.get(), probe_.get(),
-          config_.policy.fair_weights);
-    }
-  }
+  probe_ = std::make_unique<ProbeImpl>(this);
+  auto policy =
+      core::PolicyRegistry::Global().Create(config_.policy.ResolvedSpec());
+  if (!policy.ok()) return policy.status();
+  policy_ = std::move(policy).value();
+
+  core::PolicyHost host;
+  host.mm = mm_.get();
+  host.probe = probe_.get();
+  host.now = [this] { return sim_.Now(); };
+  host.pmm = config_.pmm;
+  host.num_classes = static_cast<int32_t>(config_.workload.classes.size());
+  RTQ_RETURN_IF_ERROR(policy_->Attach(host));
 
   source_ = std::make_unique<workload::Source>(
       &sim_, db_.get(), config_.workload, config_.exec, config_.disk,
@@ -269,6 +246,7 @@ void Rtdbs::ScheduleMplSampler() {
   sim_.ScheduleAfter(config_.mpl_sample_interval, [this] {
     metrics_.SampleMpl(sim_.Now(),
                        static_cast<int64_t>(mm_->admitted_count()));
+    policy_->OnTick(sim_.Now());
     ScheduleMplSampler();
   });
 }
@@ -297,8 +275,20 @@ void Rtdbs::OnArrival(exec::QueryDescriptor desc,
   // A query whose maximum demand exceeds the machine is capped: it runs
   // at whatever the pool can give (its operator adapts), never at "max".
   req.max_memory = std::min(desc.max_memory, config_.memory_pages);
+  req.standalone_estimate = desc.standalone_time;
   mm_->AddQuery(req);
   UpdateMplSignal();
+
+  core::QueryEvent event;
+  event.kind = core::QueryEvent::Kind::kArrival;
+  event.info.id = id;
+  event.info.query_class = desc.query_class;
+  event.info.arrival = desc.arrival;
+  event.info.deadline = desc.deadline;
+  event.info.time_constraint = desc.deadline - desc.arrival;
+  event.info.max_memory = desc.max_memory;
+  event.info.operand_io_requests = desc.operand_io_requests;
+  policy_->OnQueryEvent(event);
 }
 
 void Rtdbs::ApplyAllocation(QueryId id, PageCount pages) {
@@ -387,7 +377,11 @@ void Rtdbs::FinishQuery(QueryId id, bool missed) {
 
   mm_->RemoveQuery(id);
   UpdateMplSignal();
-  if (controller_) controller_->OnQueryFinished(rec.info);
+
+  core::QueryEvent event;
+  event.kind = core::QueryEvent::Kind::kCompletion;
+  event.info = rec.info;
+  policy_->OnQueryEvent(event);
 }
 
 void Rtdbs::UpdateMplSignal() {

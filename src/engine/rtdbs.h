@@ -21,6 +21,7 @@
 #include "buffer/buffer_pool.h"
 #include "common/status.h"
 #include "core/memory_manager.h"
+#include "core/memory_policy.h"
 #include "core/pmm.h"
 #include "engine/metrics.h"
 #include "engine/system_config.h"
@@ -59,8 +60,13 @@ class Rtdbs {
   const storage::Database& database() const { return *db_; }
   const MetricsCollector& metrics() const { return metrics_; }
   buffer::BufferPool& buffer_pool() { return *pool_; }
-  /// Null unless the policy is PMM / PMM-Fair.
-  const core::PmmController* pmm() const { return controller_.get(); }
+  /// The active memory policy (resolved from the config's spec string).
+  const core::MemoryPolicy& policy() const { return *policy_; }
+  /// The policy's adaptation controller; null unless the policy is
+  /// PMM-driven (PMM, PMM-Fair, or a plugin built on PmmController).
+  const core::PmmController* pmm() const {
+    return policy_ ? policy_->pmm_controller() : nullptr;
+  }
   const SystemConfig& config() const { return config_; }
 
   /// Live queries currently registered (waiting + admitted).
@@ -110,7 +116,7 @@ class Rtdbs {
   std::unique_ptr<storage::TempSpace> temp_;
   std::unique_ptr<buffer::BufferPool> pool_;
   std::unique_ptr<core::MemoryManager> mm_;
-  std::unique_ptr<core::PmmController> controller_;
+  std::unique_ptr<core::MemoryPolicy> policy_;
   std::unique_ptr<ProbeImpl> probe_;
   std::unique_ptr<workload::Source> source_;
   MetricsCollector metrics_;

@@ -1,5 +1,7 @@
 #include "engine/system_config.h"
 
+#include "core/policy_registry.h"
+
 namespace rtq::engine {
 
 const char* PolicyKindName(PolicyKind kind) {
@@ -22,6 +24,27 @@ const char* PolicyKindName(PolicyKind kind) {
   return "?";
 }
 
+std::string PolicyConfig::ResolvedSpec() const {
+  if (!spec.empty()) return spec;
+  switch (kind) {
+    case PolicyKind::kMax:
+      return max_bypass ? "max" : "max:strict";
+    case PolicyKind::kMinMax:
+      return "minmax";
+    case PolicyKind::kMinMaxN:
+      return "minmax:" + std::to_string(mpl_limit);
+    case PolicyKind::kProportional:
+      return "prop";
+    case PolicyKind::kProportionalN:
+      return "prop:" + std::to_string(mpl_limit);
+    case PolicyKind::kPmm:
+      return "pmm";
+    case PolicyKind::kPmmFair:
+      return "pmm-fair:w=" + core::FormatSpecDoubleList(fair_weights);
+  }
+  return "pmm";
+}
+
 Status SystemConfig::Validate() const {
   if (mips <= 0.0) return Status::InvalidArgument("mips must be > 0");
   if (num_disks <= 0)
@@ -36,15 +59,11 @@ Status SystemConfig::Validate() const {
     Status s = database.Validate(disk);
     if (!s.ok()) return s;
   }
-  if ((policy.kind == PolicyKind::kMinMaxN ||
-       policy.kind == PolicyKind::kProportionalN) &&
-      policy.mpl_limit < 1) {
-    return Status::InvalidArgument("-N policies need mpl_limit >= 1");
-  }
-  if (policy.kind == PolicyKind::kPmmFair &&
-      policy.fair_weights.size() != workload.classes.size()) {
-    return Status::InvalidArgument(
-        "PMM-Fair needs one weight per workload class");
+  {
+    // The policy spec must parse and name a registered factory; class- or
+    // probe-dependent checks run later, in MemoryPolicy::Attach.
+    auto p = core::PolicyRegistry::Global().Create(policy.ResolvedSpec());
+    if (!p.ok()) return p.status();
   }
   if (miss_ci_batch < 1)
     return Status::InvalidArgument("miss_ci_batch must be >= 1");

@@ -7,6 +7,8 @@
 #ifndef RTQ_ENGINE_SYSTEM_CONFIG_H_
 #define RTQ_ENGINE_SYSTEM_CONFIG_H_
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -19,25 +21,50 @@
 
 namespace rtq::engine {
 
+/// DEPRECATED closed policy enumeration. The policy surface is open now:
+/// policies are named by core::PolicyRegistry spec strings (see
+/// PolicyConfig::spec). The enum remains as a source-compatibility shim
+/// that forwards to the equivalent spec string; new code and new
+/// policies should use specs directly.
 enum class PolicyKind {
-  kMax,           ///< static Max strategy
-  kMinMax,        ///< static MinMax-infinity
-  kMinMaxN,       ///< static MinMax-N (mpl_limit)
-  kProportional,  ///< static Proportional-infinity
-  kProportionalN, ///< static Proportional-N (mpl_limit)
-  kPmm,           ///< adaptive PMM controller
-  kPmmFair,       ///< PMM with the Section 5.6 fairness extension
+  kMax,           ///< "max" (or "max:strict" when max_bypass is off)
+  kMinMax,        ///< "minmax"
+  kMinMaxN,       ///< "minmax:N" (mpl_limit)
+  kProportional,  ///< "prop"
+  kProportionalN, ///< "prop:N" (mpl_limit)
+  kPmm,           ///< "pmm"
+  kPmmFair,       ///< "pmm-fair:w=..." (fair_weights)
 };
 
+/// DEPRECATED: display name of a legacy enum value.
 const char* PolicyKindName(PolicyKind kind);
 
+/// Which memory policy manages the buffer pool. The one live field is
+/// `spec`; the enum fields below it are a deprecated shim kept so
+/// pre-registry call sites keep compiling (and behaving identically).
 struct PolicyConfig {
+  PolicyConfig() = default;
+  /// Implicit from a spec string: `config.policy = {"minmax:5"};`
+  PolicyConfig(std::string spec_string)  // NOLINT(google-explicit-constructor)
+      : spec(std::move(spec_string)) {}
+  PolicyConfig(const char* spec_string) : spec(spec_string) {}  // NOLINT
+
+  /// core::PolicyRegistry spec string ("pmm", "minmax:5", "none", ...).
+  /// Empty means "derive from the deprecated enum fields below".
+  std::string spec;
+
+  /// The spec this config resolves to: `spec` when set, else the
+  /// deprecated enum fields rendered as a spec string.
+  std::string ResolvedSpec() const;
+
+  // --- deprecated compat shim (pre-PolicyRegistry API) ---------------------
+  /// DEPRECATED: use `spec`. Ignored when `spec` is non-empty.
   PolicyKind kind = PolicyKind::kPmm;
-  /// N for the -N variants.
+  /// DEPRECATED: N for the -N variants ("minmax:N" / "prop:N").
   int64_t mpl_limit = -1;
-  /// Max admission bypass (see MaxStrategy); ablation A1 turns it off.
+  /// DEPRECATED: Max admission bypass; false maps to "max:strict".
   bool max_bypass = true;
-  /// Per-class desired relative miss ratios for kPmmFair.
+  /// DEPRECATED: per-class weights ("pmm-fair:w=...").
   std::vector<double> fair_weights;
 };
 

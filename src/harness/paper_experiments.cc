@@ -1,9 +1,12 @@
 #include "harness/paper_experiments.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "common/check.h"
+#include "core/policy_registry.h"
 
 namespace rtq::harness {
 
@@ -73,15 +76,32 @@ SimTime ExperimentDuration() {
 }
 
 std::vector<engine::PolicyConfig> BaselinePolicies() {
-  engine::PolicyConfig max;
-  max.kind = engine::PolicyKind::kMax;
-  engine::PolicyConfig minmax;
-  minmax.kind = engine::PolicyKind::kMinMax;
-  engine::PolicyConfig proportional;
-  proportional.kind = engine::PolicyKind::kProportional;
-  engine::PolicyConfig pmm;
-  pmm.kind = engine::PolicyKind::kPmm;
-  return {max, minmax, proportional, pmm};
+  return {{"max"}, {"minmax"}, {"prop"}, {"pmm"}};
+}
+
+std::vector<engine::PolicyConfig> PoliciesOrDefault(
+    std::vector<engine::PolicyConfig> defaults) {
+  const char* env = std::getenv("RTQ_POLICIES");
+  if (env == nullptr || env[0] == '\0') return defaults;
+
+  auto specs = core::ParsePolicyList(env);
+  if (!specs.ok()) {
+    std::fprintf(stderr, "RTQ_POLICIES=\"%s\": %s\n", env,
+                 specs.status().ToString().c_str());
+    std::exit(2);
+  }
+  std::vector<engine::PolicyConfig> policies;
+  for (const std::string& spec : specs.value()) {
+    // Fail fast (before a multi-hour sweep) on unknown names or bad args.
+    auto policy = core::PolicyRegistry::Global().Create(spec);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "RTQ_POLICIES=\"%s\": %s\n", env,
+                   policy.status().ToString().c_str());
+      std::exit(2);
+    }
+    policies.push_back({spec});
+  }
+  return policies;
 }
 
 engine::SystemConfig BaselineConfig(double arrival_rate,
@@ -187,23 +207,21 @@ engine::SystemConfig ScaledConfig(double arrival_rate,
 }
 
 std::string PolicyLabel(const engine::PolicyConfig& policy) {
-  switch (policy.kind) {
-    case engine::PolicyKind::kMax:
-      return policy.max_bypass ? "Max" : "Max(strict)";
-    case engine::PolicyKind::kMinMax:
-      return "MinMax";
-    case engine::PolicyKind::kMinMaxN:
-      return "MinMax-" + std::to_string(policy.mpl_limit);
-    case engine::PolicyKind::kProportional:
-      return "Proportional";
-    case engine::PolicyKind::kProportionalN:
-      return "Proportional-" + std::to_string(policy.mpl_limit);
-    case engine::PolicyKind::kPmm:
-      return "PMM";
-    case engine::PolicyKind::kPmmFair:
-      return "PMM-Fair";
+  std::string spec = policy.ResolvedSpec();
+  auto p = core::PolicyRegistry::Global().Create(spec);
+  // Unresolvable specs echo back verbatim; config validation is the
+  // place that rejects them with a real Status.
+  return p.ok() ? p.value()->DisplayName() : spec;
+}
+
+std::vector<std::string> PolicyColumns(
+    const std::string& first,
+    const std::vector<engine::PolicyConfig>& policies) {
+  std::vector<std::string> columns{first};
+  for (const auto& policy : policies) {
+    columns.push_back(PolicyLabel(policy));
   }
-  return "?";
+  return columns;
 }
 
 }  // namespace rtq::harness

@@ -32,8 +32,19 @@ namespace rtq::harness {
 /// (e.g. RTQ_SIM_HOURS=10 for paper-scale runs).
 SimTime ExperimentDuration();
 
-/// Policies compared in the baseline experiment (Figure 3).
+/// Policies compared in the baseline experiment (Figure 3):
+/// "max", "minmax", "prop", "pmm".
 std::vector<engine::PolicyConfig> BaselinePolicies();
+
+/// The RTQ_POLICIES override: when the environment variable is set, it
+/// replaces `defaults` with its comma-separated policy specs (e.g.
+/// RTQ_POLICIES="pmm,none" sweeps just those two; a bare numeric
+/// segment continues the previous spec, so "pmm-fair:w=1,2,max" is two
+/// specs). Every spec is validated against the PolicyRegistry up front;
+/// a malformed or unknown spec aborts with a usage message listing the
+/// registered policies. Unset/empty returns `defaults` unchanged.
+std::vector<engine::PolicyConfig> PoliciesOrDefault(
+    std::vector<engine::PolicyConfig> defaults);
 
 /// Section 5.1: memory-bottlenecked baseline. One hash-join class,
 /// ||R|| in [600,1800], ||S|| in [3000,9000], 40 MIPS, 10 disks,
@@ -74,8 +85,14 @@ engine::SystemConfig ScaledConfig(double arrival_rate,
                                   const engine::PolicyConfig& policy,
                                   double scale, uint64_t seed = 42);
 
-/// Convenience: short policy label for tables ("Max", "MinMax-10", ...).
+/// Convenience: short policy label for tables ("Max", "MinMax-10", ...) —
+/// the policy's MemoryPolicy::DisplayName(), resolved via the registry.
 std::string PolicyLabel(const engine::PolicyConfig& policy);
+
+/// Table header row for a policy sweep: `first` followed by one
+/// PolicyLabel column per policy.
+std::vector<std::string> PolicyColumns(
+    const std::string& first, const std::vector<engine::PolicyConfig>& policies);
 
 }  // namespace rtq::harness
 

@@ -1,0 +1,114 @@
+// "oracle-ed" — a clairvoyant admission-control upper bound.
+//
+// Reads the cost model's stand-alone execution-time estimate (the same
+// estimate deadline assignment uses, Section 4.1) and admits only
+// queries that can still plausibly finish: a query whose remaining time
+// to deadline is below `margin * estimate` is never given memory, so its
+// pages go to feasible queries instead and it simply ages out at its
+// deadline. Feasible queries receive maximum allocations in
+// Earliest-Deadline order (Max discipline). Because the estimate assumes
+// the maximum allocation and an idle system, this is an optimistic
+// oracle — real policies cannot beat the information it acts on, which
+// is what makes it a useful upper-bound lane in sweeps.
+//
+//   spec: "oracle-ed"            (margin = 1)
+//         "oracle-ed:m=1.5"      (require 1.5x the estimate to remain)
+//
+// Like policy_none.cc, this registers from its own translation unit —
+// no edits under src/engine/ or src/core/.
+
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/memory_policy.h"
+#include "core/policy_registry.h"
+#include "core/strategy.h"
+
+namespace rtq::core {
+namespace {
+
+class OracleEdStrategy : public AllocationStrategy {
+ public:
+  OracleEdStrategy(std::function<SimTime()> now, double margin)
+      : now_(std::move(now)), margin_(margin) {}
+
+  AllocationVector Allocate(const std::vector<MemRequest>& ed_sorted,
+                            PageCount total) const override {
+    SimTime now = now_();
+    AllocationVector out(ed_sorted.size(), 0);
+    PageCount remaining = total;
+    for (size_t i = 0; i < ed_sorted.size(); ++i) {
+      const MemRequest& q = ed_sorted[i];
+      if (q.deadline - now < margin_ * q.standalone_estimate) {
+        continue;  // cannot finish: spend nothing on it
+      }
+      if (q.max_memory <= remaining) {
+        out[i] = q.max_memory;
+        remaining -= q.max_memory;
+      }
+    }
+    return out;
+  }
+
+  std::string name() const override { return "OracleED"; }
+
+ private:
+  std::function<SimTime()> now_;
+  double margin_;
+};
+
+class OracleEdPolicy : public MemoryPolicy {
+ public:
+  explicit OracleEdPolicy(double margin) : margin_(margin) {}
+
+  Status Attach(const PolicyHost& host) override {
+    if (!host.now) {
+      return Status::FailedPrecondition(
+          "oracle-ed needs a simulation clock from the host");
+    }
+    host.mm->SetStrategy(
+        std::make_unique<OracleEdStrategy>(host.now, margin_));
+    return Status::Ok();
+  }
+
+  std::string Describe() const override {
+    return margin_ == 1.0
+               ? "oracle-ed"
+               : "oracle-ed:m=" + FormatSpecDoubleList({margin_});
+  }
+  std::string DisplayName() const override { return "Oracle-ED"; }
+
+ private:
+  double margin_;
+};
+
+StatusOr<std::unique_ptr<MemoryPolicy>> MakeOracleEdPolicy(
+    const PolicySpec& spec) {
+  double margin = 1.0;
+  if (!spec.args.empty()) {
+    auto kv = ParseSpecKeyValue(spec.args);
+    if (!kv.ok()) return kv.status();
+    if (kv.value().first != "m") {
+      return Status::InvalidArgument("oracle-ed: unknown argument '" +
+                                     kv.value().first + "' (expected m=...)");
+    }
+    auto parsed = ParseSpecDoubleList(kv.value().second);
+    if (!parsed.ok()) return parsed.status();
+    if (parsed.value().size() != 1 || !std::isfinite(parsed.value()[0]) ||
+        parsed.value()[0] <= 0.0) {
+      return Status::InvalidArgument(
+          "oracle-ed: m must be a single finite positive number");
+    }
+    margin = parsed.value()[0];
+  }
+  return std::unique_ptr<MemoryPolicy>(new OracleEdPolicy(margin));
+}
+
+RTQ_REGISTER_POLICY("oracle-ed",
+                    "oracle-ed[:m=F] — clairvoyant feasibility admission",
+                    MakeOracleEdPolicy);
+
+}  // namespace
+}  // namespace rtq::core

@@ -2,38 +2,37 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "harness/paper_experiments.h"
 
 namespace rtq::engine {
 namespace {
 
-SystemConfig SmallConfig(PolicyKind kind, double rate = 0.05,
+SystemConfig SmallConfig(const std::string& spec, double rate = 0.05,
                          uint64_t seed = 42) {
-  PolicyConfig policy;
-  policy.kind = kind;
-  if (kind == PolicyKind::kMinMaxN || kind == PolicyKind::kProportionalN) {
-    policy.mpl_limit = 4;
-  }
-  if (kind == PolicyKind::kPmmFair) policy.fair_weights = {1.0};
-  return harness::BaselineConfig(rate, policy, seed);
+  return harness::BaselineConfig(rate, {spec}, seed);
 }
 
 TEST(Engine, RejectsInvalidConfig) {
-  SystemConfig config = SmallConfig(PolicyKind::kMax);
+  SystemConfig config = SmallConfig("max");
   config.num_disks = 0;
   EXPECT_FALSE(Rtdbs::Create(config).ok());
 
-  config = SmallConfig(PolicyKind::kMinMaxN);
-  config.policy.mpl_limit = 0;
+  config = SmallConfig("minmax:0");  // -N policies need N >= 1
   EXPECT_FALSE(Rtdbs::Create(config).ok());
 
-  config = SmallConfig(PolicyKind::kPmmFair);
-  config.policy.fair_weights = {1.0, 2.0};  // one class only
+  config = SmallConfig("pmm-fair:w=1,2");  // one class only
   EXPECT_FALSE(Rtdbs::Create(config).ok());
+
+  config = SmallConfig("no-such-policy");
+  auto sys = Rtdbs::Create(config);
+  ASSERT_FALSE(sys.ok());
+  EXPECT_EQ(sys.status().code(), StatusCode::kNotFound);
 }
 
 TEST(Engine, RunsAndRecordsCompletions) {
-  auto sys = Rtdbs::Create(SmallConfig(PolicyKind::kPmm));
+  auto sys = Rtdbs::Create(SmallConfig("pmm"));
   ASSERT_TRUE(sys.ok());
   sys.value()->RunUntil(3600.0);
   SystemSummary s = sys.value()->Summarize();
@@ -49,7 +48,7 @@ TEST(Engine, RunsAndRecordsCompletions) {
 
 TEST(Engine, DeterministicForSameSeed) {
   auto run = [](uint64_t seed) {
-    auto sys = Rtdbs::Create(SmallConfig(PolicyKind::kMinMax, 0.06, seed));
+    auto sys = Rtdbs::Create(SmallConfig("minmax", 0.06, seed));
     sys.value()->RunUntil(1800.0);
     SystemSummary s = sys.value()->Summarize();
     return std::make_tuple(s.overall.completions, s.overall.misses,
@@ -60,7 +59,7 @@ TEST(Engine, DeterministicForSameSeed) {
 }
 
 TEST(Engine, QueryConservation) {
-  auto sys = Rtdbs::Create(SmallConfig(PolicyKind::kMinMax));
+  auto sys = Rtdbs::Create(SmallConfig("minmax"));
   ASSERT_TRUE(sys.ok());
   sys.value()->RunUntil(3600.0);
   int64_t generated = sys.value()->source().generated();
@@ -71,7 +70,7 @@ TEST(Engine, QueryConservation) {
 }
 
 TEST(Engine, PoolNeverOversubscribedAtEnd) {
-  auto sys = Rtdbs::Create(SmallConfig(PolicyKind::kMinMax, 0.08));
+  auto sys = Rtdbs::Create(SmallConfig("minmax", 0.08));
   ASSERT_TRUE(sys.ok());
   sys.value()->RunUntil(1800.0);
   // BufferPool enforces the invariant on every reservation; reaching this
@@ -87,7 +86,7 @@ TEST(Engine, FirmDeadlinesAbortLateQueries) {
   // Overload the system so misses must occur; every missed record's
   // finish time equals its deadline (firm semantics: aborted exactly at
   // expiry, not after).
-  auto sys = Rtdbs::Create(SmallConfig(PolicyKind::kMax, 0.15));
+  auto sys = Rtdbs::Create(SmallConfig("max", 0.15));
   ASSERT_TRUE(sys.ok());
   sys.value()->RunUntil(3600.0);
   int64_t misses = 0;
@@ -103,7 +102,7 @@ TEST(Engine, FirmDeadlinesAbortLateQueries) {
 }
 
 TEST(Engine, CompletedQueriesMeetDeadlines) {
-  auto sys = Rtdbs::Create(SmallConfig(PolicyKind::kPmm, 0.06));
+  auto sys = Rtdbs::Create(SmallConfig("pmm", 0.06));
   ASSERT_TRUE(sys.ok());
   sys.value()->RunUntil(3600.0);
   for (const auto& rec : sys.value()->metrics().records()) {
@@ -114,28 +113,27 @@ TEST(Engine, CompletedQueriesMeetDeadlines) {
   }
 }
 
-TEST(Engine, EveryPolicyKindRuns) {
-  for (PolicyKind kind :
-       {PolicyKind::kMax, PolicyKind::kMinMax, PolicyKind::kMinMaxN,
-        PolicyKind::kProportional, PolicyKind::kProportionalN,
-        PolicyKind::kPmm, PolicyKind::kPmmFair}) {
-    auto sys = Rtdbs::Create(SmallConfig(kind, 0.05));
-    ASSERT_TRUE(sys.ok()) << PolicyKindName(kind);
+TEST(Engine, EveryRegisteredPolicyRuns) {
+  for (const std::string spec :
+       {"max", "max:strict", "minmax", "minmax:4", "prop", "prop:4", "pmm",
+        "pmm-fair:w=1", "none", "oracle-ed"}) {
+    auto sys = Rtdbs::Create(SmallConfig(spec, 0.05));
+    ASSERT_TRUE(sys.ok()) << spec;
     sys.value()->RunUntil(900.0);
-    EXPECT_GT(sys.value()->metrics().records().size(), 10u)
-        << PolicyKindName(kind);
+    EXPECT_GT(sys.value()->metrics().records().size(), 10u) << spec;
+    EXPECT_EQ(sys.value()->policy().Describe(), spec) << spec;
   }
 }
 
 TEST(Engine, PmmControllerIsExposedOnlyForPmmPolicies) {
-  auto max_sys = Rtdbs::Create(SmallConfig(PolicyKind::kMax));
+  auto max_sys = Rtdbs::Create(SmallConfig("max"));
   EXPECT_EQ(max_sys.value()->pmm(), nullptr);
-  auto pmm_sys = Rtdbs::Create(SmallConfig(PolicyKind::kPmm));
+  auto pmm_sys = Rtdbs::Create(SmallConfig("pmm"));
   EXPECT_NE(pmm_sys.value()->pmm(), nullptr);
 }
 
 TEST(Engine, PmmAdaptsDuringRun) {
-  auto sys = Rtdbs::Create(SmallConfig(PolicyKind::kPmm, 0.07));
+  auto sys = Rtdbs::Create(SmallConfig("pmm", 0.07));
   ASSERT_TRUE(sys.ok());
   sys.value()->RunUntil(3600.0 * 2);
   const core::PmmController* pmm = sys.value()->pmm();
@@ -146,7 +144,7 @@ TEST(Engine, PmmAdaptsDuringRun) {
 }
 
 TEST(Engine, MplSamplerCollectsTrace) {
-  SystemConfig config = SmallConfig(PolicyKind::kMinMax);
+  SystemConfig config = SmallConfig("minmax");
   config.mpl_sample_interval = 30.0;
   auto sys = Rtdbs::Create(config);
   ASSERT_TRUE(sys.ok());
@@ -159,10 +157,10 @@ TEST(Engine, MaxFluctuatesFarLessThanMinMax) {
   // Under Max a started query only ever toggles between its maximum and
   // zero (suspension by a more urgent arrival), so fluctuation counts
   // stay near zero; MinMax continually revises allocations (Figure 7).
-  auto max_sys = Rtdbs::Create(SmallConfig(PolicyKind::kMax, 0.06));
+  auto max_sys = Rtdbs::Create(SmallConfig("max", 0.06));
   ASSERT_TRUE(max_sys.ok());
   max_sys.value()->RunUntil(3600.0);
-  auto mm_sys = Rtdbs::Create(SmallConfig(PolicyKind::kMinMax, 0.06));
+  auto mm_sys = Rtdbs::Create(SmallConfig("minmax", 0.06));
   ASSERT_TRUE(mm_sys.ok());
   mm_sys.value()->RunUntil(3600.0);
   double max_fluct = max_sys.value()->Summarize().overall.avg_fluctuations;
@@ -172,7 +170,7 @@ TEST(Engine, MaxFluctuatesFarLessThanMinMax) {
 }
 
 TEST(Engine, MinMaxProducesFluctuations) {
-  auto sys = Rtdbs::Create(SmallConfig(PolicyKind::kMinMax, 0.07));
+  auto sys = Rtdbs::Create(SmallConfig("minmax", 0.07));
   ASSERT_TRUE(sys.ok());
   sys.value()->RunUntil(3600.0);
   SystemSummary s = sys.value()->Summarize();
@@ -180,7 +178,7 @@ TEST(Engine, MinMaxProducesFluctuations) {
 }
 
 TEST(Engine, RepeatedRunUntilComposes) {
-  auto sys = Rtdbs::Create(SmallConfig(PolicyKind::kPmm));
+  auto sys = Rtdbs::Create(SmallConfig("pmm"));
   ASSERT_TRUE(sys.ok());
   sys.value()->RunUntil(600.0);
   size_t first = sys.value()->metrics().records().size();
@@ -189,8 +187,7 @@ TEST(Engine, RepeatedRunUntilComposes) {
 }
 
 TEST(Engine, SourceActivationDrivesWorkloadChanges) {
-  PolicyConfig policy;
-  policy.kind = PolicyKind::kPmm;
+  PolicyConfig policy{"pmm"};
   SystemConfig config = harness::WorkloadChangeConfig(
       policy, /*medium_active=*/true, /*small_active=*/false);
   auto sys = Rtdbs::Create(config);

@@ -50,8 +50,7 @@ TEST(Csv, WritesFile) {
 }
 
 TEST(PaperExperiments, ConfigsValidate) {
-  engine::PolicyConfig pmm;
-  pmm.kind = engine::PolicyKind::kPmm;
+  engine::PolicyConfig pmm{"pmm"};
   EXPECT_TRUE(BaselineConfig(0.06, pmm).Validate().ok());
   EXPECT_TRUE(DiskContentionConfig(0.07, pmm).Validate().ok());
   EXPECT_TRUE(WorkloadChangeConfig(pmm, true, false).Validate().ok());
@@ -62,8 +61,7 @@ TEST(PaperExperiments, ConfigsValidate) {
 }
 
 TEST(PaperExperiments, ConfigShapesMatchPaper) {
-  engine::PolicyConfig pmm;
-  pmm.kind = engine::PolicyKind::kPmm;
+  engine::PolicyConfig pmm{"pmm"};
 
   auto baseline = BaselineConfig(0.06, pmm);
   EXPECT_EQ(baseline.num_disks, 10);
@@ -87,6 +85,16 @@ TEST(PaperExperiments, ConfigShapesMatchPaper) {
 }
 
 TEST(PaperExperiments, PolicyLabels) {
+  EXPECT_EQ(PolicyLabel({"minmax:10"}), "MinMax-10");
+  EXPECT_EQ(PolicyLabel({"max"}), "Max");
+  EXPECT_EQ(PolicyLabel({"max:strict"}), "Max(strict)");
+  EXPECT_EQ(PolicyLabel({"prop"}), "Proportional");
+  EXPECT_EQ(PolicyLabel({"pmm"}), "PMM");
+  EXPECT_EQ(PolicyLabel({"pmm-fair:w=1,2"}), "PMM-Fair");
+  EXPECT_EQ(PolicyLabel({"none"}), "None");
+  EXPECT_EQ(PolicyLabel({"oracle-ed"}), "Oracle-ED");
+
+  // Deprecated enum configs resolve to the same labels.
   engine::PolicyConfig p;
   p.kind = engine::PolicyKind::kMinMaxN;
   p.mpl_limit = 10;
@@ -100,10 +108,38 @@ TEST(PaperExperiments, PolicyLabels) {
 TEST(PaperExperiments, BaselinePoliciesCoverThePaper) {
   auto policies = BaselinePolicies();
   ASSERT_EQ(policies.size(), 4u);
-  EXPECT_EQ(policies[0].kind, engine::PolicyKind::kMax);
-  EXPECT_EQ(policies[1].kind, engine::PolicyKind::kMinMax);
-  EXPECT_EQ(policies[2].kind, engine::PolicyKind::kProportional);
-  EXPECT_EQ(policies[3].kind, engine::PolicyKind::kPmm);
+  EXPECT_EQ(policies[0].ResolvedSpec(), "max");
+  EXPECT_EQ(policies[1].ResolvedSpec(), "minmax");
+  EXPECT_EQ(policies[2].ResolvedSpec(), "prop");
+  EXPECT_EQ(policies[3].ResolvedSpec(), "pmm");
+}
+
+TEST(PaperExperiments, PoliciesOrDefaultHonoursEnvironment) {
+  const char* old = std::getenv("RTQ_POLICIES");
+
+  unsetenv("RTQ_POLICIES");
+  auto defaults = PoliciesOrDefault(BaselinePolicies());
+  ASSERT_EQ(defaults.size(), 4u);
+  EXPECT_EQ(defaults[0].ResolvedSpec(), "max");
+
+  setenv("RTQ_POLICIES", "pmm,none", 1);
+  auto overridden = PoliciesOrDefault(BaselinePolicies());
+  ASSERT_EQ(overridden.size(), 2u);
+  EXPECT_EQ(overridden[0].ResolvedSpec(), "pmm");
+  EXPECT_EQ(overridden[1].ResolvedSpec(), "none");
+
+  // A weight list's commas stay inside the previous spec.
+  setenv("RTQ_POLICIES", "pmm-fair:w=1,2,max", 1);
+  auto with_weights = PoliciesOrDefault(BaselinePolicies());
+  ASSERT_EQ(with_weights.size(), 2u);
+  EXPECT_EQ(with_weights[0].ResolvedSpec(), "pmm-fair:w=1,2");
+  EXPECT_EQ(with_weights[1].ResolvedSpec(), "max");
+
+  if (old != nullptr) {
+    setenv("RTQ_POLICIES", old, 1);
+  } else {
+    unsetenv("RTQ_POLICIES");
+  }
 }
 
 TEST(PaperExperiments, DurationHonoursEnvironment) {

@@ -1,0 +1,225 @@
+#include "core/policy_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "engine/rtdbs.h"
+#include "harness/paper_experiments.h"
+
+namespace rtq::core {
+namespace {
+
+TEST(PolicySpec, ParsesNameAndArgs) {
+  auto plain = PolicySpec::Parse("pmm");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value().name, "pmm");
+  EXPECT_EQ(plain.value().args, "");
+
+  auto with_args = PolicySpec::Parse("pmm-fair:w=1,2");
+  ASSERT_TRUE(with_args.ok());
+  EXPECT_EQ(with_args.value().name, "pmm-fair");
+  EXPECT_EQ(with_args.value().args, "w=1,2");
+  EXPECT_EQ(with_args.value().ToString(), "pmm-fair:w=1,2");
+}
+
+TEST(PolicySpec, RejectsMalformedNames) {
+  for (const char* bad : {"", ":5", "Max", "min max", "5minmax", "-x"}) {
+    auto spec = PolicySpec::Parse(bad);
+    EXPECT_FALSE(spec.ok()) << bad;
+    EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(PolicyRegistry, BuiltinsAreRegistered) {
+  auto& registry = PolicyRegistry::Global();
+  for (const char* name :
+       {"max", "minmax", "prop", "pmm", "pmm-fair", "none", "oracle-ed"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+}
+
+TEST(PolicyRegistry, IterationIsDeterministic) {
+  auto names = PolicyRegistry::Global().Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(names, PolicyRegistry::Global().Names());
+  // Self-registered plugins from src/policies/ participate.
+  EXPECT_NE(std::find(names.begin(), names.end(), "none"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "oracle-ed"), names.end());
+}
+
+TEST(PolicyRegistry, UnknownPolicyIsAStatusNotACheck) {
+  auto policy = PolicyRegistry::Global().Create("definitely-not-registered");
+  ASSERT_FALSE(policy.ok());
+  EXPECT_EQ(policy.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PolicyRegistry, MalformedArgsAreStatusErrors) {
+  for (const char* bad :
+       {"minmax:abc", "minmax:0", "minmax:-3", "prop:0", "max:bogus",
+        "pmm:5", "pmm-fair:x=1", "pmm-fair:w=", "pmm-fair:w=1,zero",
+        "pmm-fair:w=0,1", "pmm-fair:w=nan,1", "pmm-fair:w=inf", "none:1",
+        "oracle-ed:m=0", "oracle-ed:m=1,2", "oracle-ed:m=nan",
+        "oracle-ed:w=2"}) {
+    auto policy = PolicyRegistry::Global().Create(bad);
+    EXPECT_FALSE(policy.ok()) << bad;
+    EXPECT_EQ(policy.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(PolicyRegistry, DuplicateRegistrationFails) {
+  Status status = PolicyRegistry::Global().Register(
+      "max", "again", [](const PolicySpec&) {
+        return StatusOr<std::unique_ptr<MemoryPolicy>>(
+            Status::Internal("unreachable"));
+      });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PolicyRegistry, DescribeRoundTrips) {
+  // Canonical specs reproduce themselves through Create -> Describe.
+  for (const char* spec :
+       {"max", "max:strict", "minmax", "minmax:5", "prop", "prop:10", "pmm",
+        "pmm-fair:w=1,2", "pmm-fair:w=0.5,2.5", "none", "oracle-ed",
+        "oracle-ed:m=1.5"}) {
+    auto policy = PolicyRegistry::Global().Create(spec);
+    ASSERT_TRUE(policy.ok()) << spec;
+    EXPECT_EQ(policy.value()->Describe(), spec) << spec;
+    // And the description is itself creatable (fixed point).
+    auto again = PolicyRegistry::Global().Create(policy.value()->Describe());
+    ASSERT_TRUE(again.ok()) << spec;
+    EXPECT_EQ(again.value()->Describe(), policy.value()->Describe()) << spec;
+  }
+}
+
+TEST(PolicyRegistry, NonCanonicalSpecsNormalize) {
+  auto policy = PolicyRegistry::Global().Create("pmm-fair:w=1.0,2.00");
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ(policy.value()->Describe(), "pmm-fair:w=1,2");
+}
+
+TEST(ParsePolicyList, SplitsSpecsAndKeepsWeightLists) {
+  auto simple = ParsePolicyList("pmm,none");
+  ASSERT_TRUE(simple.ok());
+  EXPECT_EQ(simple.value(),
+            (std::vector<std::string>{"pmm", "none"}));
+
+  auto weights = ParsePolicyList("minmax:5,pmm-fair:w=1,2,max");
+  ASSERT_TRUE(weights.ok());
+  EXPECT_EQ(weights.value(), (std::vector<std::string>{
+                                 "minmax:5", "pmm-fair:w=1,2", "max"}));
+
+  auto spaced = ParsePolicyList(" pmm , oracle-ed:m=1.5 ");
+  ASSERT_TRUE(spaced.ok());
+  EXPECT_EQ(spaced.value(),
+            (std::vector<std::string>{"pmm", "oracle-ed:m=1.5"}));
+}
+
+TEST(ParsePolicyList, RejectsGarbage) {
+  EXPECT_FALSE(ParsePolicyList("").ok());
+  EXPECT_FALSE(ParsePolicyList(",,").ok());
+  EXPECT_FALSE(ParsePolicyList("pmm,,none").ok());
+  EXPECT_FALSE(ParsePolicyList("5,pmm").ok());  // leading continuation
+}
+
+// ---------------------------------------------------------------------------
+// Compat shim: deprecated PolicyKind configs must behave identically to
+// their spec-string equivalents.
+// ---------------------------------------------------------------------------
+
+engine::SystemConfig ShimConfig(engine::PolicyConfig policy) {
+  return harness::BaselineConfig(0.06, policy, /*seed=*/42);
+}
+
+/// Runs a short baseline simulation and fingerprints its trajectory.
+std::tuple<uint64_t, int64_t, int64_t, double> Fingerprint(
+    const engine::SystemConfig& config) {
+  auto sys = engine::Rtdbs::Create(config);
+  RTQ_CHECK(sys.ok());
+  sys.value()->RunUntil(1200.0);
+  engine::SystemSummary s = sys.value()->Summarize();
+  return {s.events_dispatched, s.overall.completions, s.overall.misses,
+          s.overall.avg_exec};
+}
+
+TEST(PolicyKindShim, EnumAndSpecConfigsProduceIdenticalRuns) {
+  struct Case {
+    engine::PolicyKind kind;
+    int64_t mpl_limit;
+    bool max_bypass;
+    std::vector<double> fair_weights;
+    const char* spec;
+  };
+  const Case cases[] = {
+      {engine::PolicyKind::kMax, -1, true, {}, "max"},
+      {engine::PolicyKind::kMax, -1, false, {}, "max:strict"},
+      {engine::PolicyKind::kMinMax, -1, true, {}, "minmax"},
+      {engine::PolicyKind::kMinMaxN, 4, true, {}, "minmax:4"},
+      {engine::PolicyKind::kProportional, -1, true, {}, "prop"},
+      {engine::PolicyKind::kProportionalN, 4, true, {}, "prop:4"},
+      {engine::PolicyKind::kPmm, -1, true, {}, "pmm"},
+      {engine::PolicyKind::kPmmFair, -1, true, {1.0}, "pmm-fair:w=1"},
+  };
+  for (const Case& c : cases) {
+    engine::PolicyConfig legacy;
+    legacy.kind = c.kind;
+    legacy.mpl_limit = c.mpl_limit;
+    legacy.max_bypass = c.max_bypass;
+    legacy.fair_weights = c.fair_weights;
+    EXPECT_EQ(legacy.ResolvedSpec(), c.spec);
+    EXPECT_EQ(Fingerprint(ShimConfig(legacy)),
+              Fingerprint(ShimConfig({c.spec})))
+        << c.spec;
+  }
+}
+
+TEST(PolicyKindShim, ExplicitSpecWinsOverEnumFields) {
+  engine::PolicyConfig config{"minmax"};
+  config.kind = engine::PolicyKind::kMax;  // deprecated field: ignored
+  EXPECT_EQ(config.ResolvedSpec(), "minmax");
+}
+
+// ---------------------------------------------------------------------------
+// The two plugin policies (registered from src/policies/, zero engine
+// edits): behavioural sanity.
+// ---------------------------------------------------------------------------
+
+TEST(PluginPolicies, NoneAdmitsImmediatelyFcfs) {
+  // Light load: the pool never fills, so with admission control absent
+  // every query is granted its maximum the moment it arrives.
+  auto sys =
+      engine::Rtdbs::Create(harness::BaselineConfig(0.01, {"none"}));
+  ASSERT_TRUE(sys.ok());
+  sys.value()->RunUntil(3600.0);
+  engine::SystemSummary s = sys.value()->Summarize();
+  EXPECT_GT(s.overall.completions, 20);
+  // A rare overlap of two large queries can still queue briefly, but
+  // the mean wait stays far below any admission-controlled policy's.
+  EXPECT_LT(s.overall.avg_wait, 1.0);
+}
+
+TEST(PluginPolicies, OracleNeverSpendsOnInfeasibleQueries) {
+  // A margin so large that no query ever looks feasible: the oracle
+  // admits nothing and every query ages out at its deadline.
+  auto sys = engine::Rtdbs::Create(ShimConfig({"oracle-ed:m=1000"}));
+  ASSERT_TRUE(sys.ok());
+  sys.value()->RunUntil(1800.0);
+  engine::SystemSummary s = sys.value()->Summarize();
+  EXPECT_GT(s.overall.misses, 0);
+  EXPECT_EQ(s.overall.completions, s.overall.misses);
+  EXPECT_DOUBLE_EQ(s.avg_mpl, 0.0);
+}
+
+TEST(PluginPolicies, OracleBeatsMaxUnderOverload) {
+  // Under heavy overload the clairvoyant filter should waste no memory
+  // on doomed queries, so it cannot do worse than plain Max.
+  auto oracle = Fingerprint(harness::BaselineConfig(0.12, {"oracle-ed"}));
+  auto max = Fingerprint(harness::BaselineConfig(0.12, {"max"}));
+  EXPECT_LE(std::get<2>(oracle), std::get<2>(max));
+}
+
+}  // namespace
+}  // namespace rtq::core

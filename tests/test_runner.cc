@@ -41,8 +41,7 @@ class ScopedEnv {
 };
 
 std::vector<RunSpec> BaselineSpecs(int count) {
-  engine::PolicyConfig pmm;
-  pmm.kind = engine::PolicyKind::kPmm;
+  engine::PolicyConfig pmm{"pmm"};
   std::vector<RunSpec> specs;
   for (int i = 0; i < count; ++i) {
     RunSpec spec;
@@ -159,7 +158,7 @@ TEST(RunPool, DefaultJobFillsResultFields) {
   ASSERT_EQ(results.size(), 1u);
   EXPECT_EQ(results[0].label, "spec-0");
   // The config echo survives the pool round-trip.
-  EXPECT_EQ(results[0].config.policy.kind, engine::PolicyKind::kPmm);
+  EXPECT_EQ(results[0].config.policy.ResolvedSpec(), "pmm");
   EXPECT_EQ(results[0].config.seed, 100u);
   EXPECT_GT(results[0].summary.simulated_time, 0.0);
   EXPECT_GT(results[0].summary.events_dispatched, 0u);

@@ -56,8 +56,7 @@ TEST(Standalone, SortCheaperThanJoinOnSameInner) {
 /// cylinder-boundary effects and head movement between the two operand
 /// disks; a lone query suffers no queueing).
 TEST(Standalone, MatchesSimulatedSolitaryJoin) {
-  engine::PolicyConfig policy;
-  policy.kind = engine::PolicyKind::kMax;
+  engine::PolicyConfig policy{"max"};
   // Very low arrival rate: the first query runs completely alone.
   engine::SystemConfig config =
       harness::BaselineConfig(0.0005, policy, /*seed=*/7);
@@ -91,8 +90,7 @@ TEST(Standalone, MatchesSimulatedSolitaryJoin) {
 /// standalone estimate times slack equals the constraint, and a solitary
 /// run's execution time is within 25% of the estimate.
 TEST(Standalone, SolitaryExecutionWithinTolerance) {
-  engine::PolicyConfig policy;
-  policy.kind = engine::PolicyKind::kMax;
+  engine::PolicyConfig policy{"max"};
   engine::SystemConfig config =
       harness::BaselineConfig(0.0005, policy, /*seed=*/11);
   // Pin the slack so standalone is recoverable from the constraint.
