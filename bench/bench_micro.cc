@@ -5,13 +5,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <deque>
+
 #include "buffer/lru_cache.h"
 #include "common/rng.h"
 #include "core/memory_manager.h"
 #include "core/policy_registry.h"
 #include "core/strategy.h"
+#include "model/disk.h"
 #include "model/disk_geometry.h"
 #include "sim/event_queue.h"
+#include "sim/simulator.h"
 #include "stats/quadratic_fit.h"
 
 namespace {
@@ -42,6 +46,41 @@ void BM_EventQueueCancelHeavy(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventQueueCancelHeavy)->Arg(4096);
+
+// Steady-state calendar churn, the simulator's per-event signature: one
+// schedule + one pop per iteration against a standing population, with a
+// tunable fraction of cancellations (arg 1, percent). Sparse (5%)
+// resembles the baseline workload — deadline events are cancelled when
+// queries finish in time; dense (50%) stresses slab recycling and the
+// lazy skim the way an overloaded firm-deadline run does.
+void BM_EventQueueChurn(benchmark::State& state) {
+  const size_t population = static_cast<size_t>(state.range(0));
+  const int64_t cancel_pct = state.range(1);
+  rtq::Rng rng(11);
+  rtq::sim::EventQueue q;
+  std::vector<rtq::sim::EventId> ids(population, rtq::sim::kInvalidEventId);
+  double now = 0.0;
+  for (size_t i = 0; i < population; ++i) {
+    ids[i] = q.Schedule(rng.Uniform(0.0, 100.0), [] {});
+  }
+  size_t slot = 0;
+  for (auto _ : state) {
+    ids[slot] = q.Schedule(now + rng.Uniform(0.0, 100.0), [] {});
+    slot = (slot + 1) % population;
+    if (rng.UniformInt(0, 99) < cancel_pct) {
+      // May hit an already-popped id; that O(1) rejection is part of the
+      // realistic mix.
+      q.Cancel(ids[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(population) - 1))]);
+    }
+    if (!q.Empty()) now = q.Pop().first;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueChurn)
+    ->Args({1024, 5})
+    ->Args({1024, 50})
+    ->Args({16384, 5});
 
 void BM_QuadraticFit(benchmark::State& state) {
   rtq::Rng rng(3);
@@ -133,6 +172,41 @@ void BM_DiskGeometryAccessTime(benchmark::State& state) {
 }
 BENCHMARK(BM_DiskGeometryAccessTime);
 
+// The elevator pick at a fixed queue depth (arg 0): submit `depth`
+// requests in a handful of deadline buckets (so the cylinder-sweep
+// tie-break, not just ED, decides) and drain the disk. Each service
+// completion pays one PickByElevator over the remaining queue, which is
+// what the (deadline, cylinder, seq) index made O(log n).
+void BM_DiskElevatorDrain(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  rtq::Rng rng(12);
+  rtq::model::DiskParams params;
+  struct Req {
+    double deadline;
+    rtq::PageCount start;
+  };
+  std::vector<Req> reqs;
+  for (int i = 0; i < depth; ++i) {
+    reqs.push_back(Req{100.0 * static_cast<double>(rng.UniformInt(1, 4)),
+                       rng.UniformInt(0, params.capacity() - 7)});
+  }
+  for (auto _ : state) {
+    rtq::sim::Simulator sim;
+    rtq::model::Disk disk(&sim, params, 0);
+    for (const Req& r : reqs) {
+      rtq::model::DiskRequest req;
+      req.query = 1;
+      req.deadline = r.deadline;
+      req.start_page = r.start;
+      req.pages = 6;
+      disk.Submit(std::move(req));
+    }
+    sim.RunToCompletion();
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_DiskElevatorDrain)->Arg(4)->Arg(32)->Arg(256);
+
 // MemoryManager::Reallocate with N live queries: the full recompute the
 // engine triggers on every arrival, completion, and policy revision.
 void BM_MemoryManagerReallocate(benchmark::State& state) {
@@ -155,6 +229,41 @@ void BM_MemoryManagerReallocate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_MemoryManagerReallocate)->Arg(16)->Arg(128);
+
+// Arrival/completion churn at a standing population of `live` queries
+// under an MPL cap — the overloaded steady state where most of the
+// population waits behind the admission frontier. Each iteration is one
+// completion (earliest deadline leaves: full recompute) plus one arrival
+// (latest deadline: eligible for the stable-tail fast path), the exact
+// membership churn the engine generates per finished query.
+void BM_MemoryManagerChurn(benchmark::State& state) {
+  const int64_t live = state.range(0);
+  rtq::Rng rng(13);
+  rtq::core::MemoryManager mm(
+      2560, std::make_unique<rtq::core::MinMaxStrategy>(8),
+      [](rtq::QueryId, rtq::PageCount) {});
+  double now = 0.0;
+  rtq::QueryId next_id = 0;
+  std::deque<rtq::QueryId> fifo;
+  auto arrive = [&] {
+    rtq::core::MemRequest q;
+    q.id = next_id++;
+    q.deadline = now + rng.Uniform(50.0, 500.0);
+    q.min_memory = 38;
+    q.max_memory = rng.UniformInt(600, 2000);
+    fifo.push_back(q.id);
+    mm.AddQuery(q);
+  };
+  for (int64_t i = 0; i < live; ++i) arrive();
+  for (auto _ : state) {
+    now += 1.0;
+    arrive();
+    mm.RemoveQuery(fifo.front());
+    fifo.pop_front();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemoryManagerChurn)->Arg(32)->Arg(256);
 
 // Spec string -> policy instance through the registry: the dispatch
 // cost the PolicyRegistry redesign added to system construction (it

@@ -1,14 +1,19 @@
 #!/usr/bin/env python3
-"""Compare a BENCH_*.json trajectory against a baseline trajectory.
+"""Compare BENCH_*.json trajectories against baseline trajectories.
 
-Closes the perf-tracking loop from ROADMAP.md: given the baseline
-trajectory checked in under results/ and a freshly produced one, this
+Closes the perf-tracking loop from ROADMAP.md: given baseline
+trajectories checked in under results/ and freshly produced ones, this
 diffs the headline events/sec figure and the per-point miss ratios, and
 exits non-zero when either regresses beyond its threshold.
 
     bench/compare_bench_json.py CURRENT BASELINE \
         [--max-events-regression 0.10] [--max-miss-drift 0.02] \
-        [--require-same-points]
+        [--require-same-points] [--report]
+
+CURRENT and BASELINE are either two BENCH_*.json files or two
+directories; with directories, files are paired by name and every pair
+is compared (a driver present on only one side is reported, and fails
+only with --require-same-points).
 
 * events/sec: fails when current totals.events_per_second falls more
   than --max-events-regression (fraction, default 0.10 = the ROADMAP's
@@ -20,16 +25,22 @@ exits non-zero when either regresses beyond its threshold.
   means behaviour changed.
 * unmatched points are reported; they fail only with
   --require-same-points (sweeps grown on purpose stay comparable).
+* --report prints one old-vs-new wall-seconds / events-per-sec row per
+  driver instead of the per-point OK lines (failures always print).
 
-Notes for CI: the checked-in baseline was recorded at RTQ_SIM_HOURS=3 on
-a known machine. A smoke run (RTQ_SIM_HOURS=0.1, shared runner) is
-neither the same simulation length nor the same hardware, so CI passes
---max-miss-drift tuned for smoke noise and relies on the nightly/local
-full runs for the tight comparison.
+Notes for CI: trajectories (events, completions, misses, miss ratios)
+are deterministic and machine-independent, so bench-smoke compares the
+smoke sweep (RTQ_SIM_HOURS=0.1) against the checked-in references under
+results/smoke/ at --max-miss-drift 0 — any drift fails the PR. Wall
+seconds and events/sec DO vary across machines, so that job relaxes
+--max-events-regression; the tight 10% events/sec gate is the
+same-machine full-length run against results/BENCH_baseline.json
+documented in README.md.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -46,26 +57,12 @@ def load(path):
     return doc
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("current", help="fresh BENCH_*.json")
-    parser.add_argument("baseline", help="reference BENCH_*.json")
-    parser.add_argument("--max-events-regression", type=float, default=0.10,
-                        metavar="FRAC",
-                        help="max tolerated drop in events/sec (default 0.10)")
-    parser.add_argument("--max-miss-drift", type=float, default=0.02,
-                        metavar="ABS",
-                        help="max tolerated |miss ratio delta| per point "
-                             "(default 0.02)")
-    parser.add_argument("--require-same-points", action="store_true",
-                        help="fail when the two files' point labels differ")
-    args = parser.parse_args()
+def compare_pair(current, baseline, args, failures):
+    """Compares one (current, baseline) document pair.
 
-    current = load(args.current)
-    baseline = load(args.baseline)
-    failures = []
-
+    Appends failure strings to `failures` and returns the report-table
+    row for the pair.
+    """
     if current["driver"] != baseline["driver"]:
         failures.append(f"driver mismatch: {current['driver']} vs "
                         f"{baseline['driver']}")
@@ -73,22 +70,26 @@ def main():
     # --- headline throughput ----------------------------------------------
     cur_eps = current["totals"].get("events_per_second", 0.0)
     base_eps = baseline["totals"].get("events_per_second", 0.0)
+    eps_delta = None
     if base_eps > 0:
-        delta = (cur_eps - base_eps) / base_eps
+        eps_delta = (cur_eps - base_eps) / base_eps
         marker = "OK"
-        if delta < -args.max_events_regression:
+        if eps_delta < -args.max_events_regression:
             marker = "FAIL"
             failures.append(
-                f"events/sec regressed {-delta:.1%} "
+                f"[{current['driver']}] events/sec regressed "
+                f"{-eps_delta:.1%} "
                 f"(limit {args.max_events_regression:.0%}): "
                 f"{cur_eps:,.0f} vs baseline {base_eps:,.0f}")
-        print(f"[{marker:4}] events/sec: {cur_eps:,.0f} vs {base_eps:,.0f} "
-              f"({delta:+.1%})")
+        if not args.report:
+            print(f"[{marker:4}] events/sec: {cur_eps:,.0f} vs "
+                  f"{base_eps:,.0f} ({eps_delta:+.1%})")
 
     # --- per-point miss ratios --------------------------------------------
     base_points = {p["label"]: p for p in baseline["points"]}
     cur_points = {p["label"]: p for p in current["points"]}
     matched = 0
+    drifted = 0
     for label, point in cur_points.items():
         base = base_points.get(label)
         if base is None:
@@ -98,12 +99,14 @@ def main():
         marker = "OK"
         if abs(drift) > args.max_miss_drift:
             marker = "FAIL"
+            drifted += 1
             failures.append(
-                f"miss ratio drifted at '{label}': "
+                f"[{current['driver']}] miss ratio drifted at '{label}': "
                 f"{point['miss_ratio']:.4f} vs {base['miss_ratio']:.4f} "
                 f"(|{drift:+.4f}| > {args.max_miss_drift})")
-        print(f"[{marker:4}] {label}: miss {point['miss_ratio']:.4f} vs "
-              f"{base['miss_ratio']:.4f} ({drift:+.4f})")
+        if not args.report or marker == "FAIL":
+            print(f"[{marker:4}] {label}: miss {point['miss_ratio']:.4f} vs "
+                  f"{base['miss_ratio']:.4f} ({drift:+.4f})")
 
     only_current = sorted(set(cur_points) - set(base_points))
     only_baseline = sorted(set(base_points) - set(cur_points))
@@ -113,12 +116,102 @@ def main():
         print(f"[note] point only in baseline: '{label}'")
     if args.require_same_points and (only_current or only_baseline):
         failures.append(
-            f"point sets differ: {len(only_current)} new, "
-            f"{len(only_baseline)} missing")
+            f"[{current['driver']}] point sets differ: "
+            f"{len(only_current)} new, {len(only_baseline)} missing")
     if matched == 0:
-        failures.append("no points matched between the two files")
+        failures.append(f"[{current['driver']}] no points matched "
+                        "between the two files")
 
-    print(f"\n{matched} matched point(s), {len(failures)} failure(s)")
+    return {
+        "driver": current["driver"],
+        "cur_wall": current["totals"].get("wall_seconds", 0.0),
+        "base_wall": baseline["totals"].get("wall_seconds", 0.0),
+        "cur_eps": cur_eps,
+        "base_eps": base_eps,
+        "eps_delta": eps_delta,
+        "matched": matched,
+        "drifted": drifted,
+    }
+
+
+def print_report(rows):
+    """The old-vs-new wall-seconds / events-per-sec table per driver."""
+    headers = ("driver", "wall_s", "wall_s(base)", "events/s",
+               "events/s(base)", "delta", "points", "drifted")
+    table = [headers]
+    for r in rows:
+        delta = "n/a" if r["eps_delta"] is None else f"{r['eps_delta']:+.1%}"
+        table.append((r["driver"], f"{r['cur_wall']:.1f}",
+                      f"{r['base_wall']:.1f}", f"{r['cur_eps']:,.0f}",
+                      f"{r['base_eps']:,.0f}", delta, str(r["matched"]),
+                      str(r["drifted"])))
+    widths = [max(len(row[c]) for row in table) for c in range(len(headers))]
+    print()
+    for i, row in enumerate(table):
+        print("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            print("  ".join("-" * w for w in widths))
+
+
+def collect_pairs(current, baseline, args, failures):
+    """Returns (current_doc, baseline_doc) pairs from files or directories."""
+    if os.path.isdir(current) != os.path.isdir(baseline):
+        sys.exit("error: CURRENT and BASELINE must both be files or both "
+                 "be directories")
+    if not os.path.isdir(current):
+        return [(load(current), load(baseline))]
+    def bench_files(d):
+        return {name for name in os.listdir(d)
+                if name.startswith("BENCH_") and name.endswith(".json")}
+    cur_files = bench_files(current)
+    base_files = bench_files(baseline)
+    for name in sorted(cur_files - base_files):
+        print(f"[note] driver only in current: {name}")
+    for name in sorted(base_files - cur_files):
+        print(f"[note] driver only in baseline: {name}")
+    common = sorted(cur_files & base_files)
+    if not common:
+        sys.exit(f"error: no BENCH_*.json names in common between "
+                 f"{current} and {baseline}")
+    if args.require_same_points and cur_files != base_files:
+        failures.append(f"driver sets differ: "
+                        f"{len(cur_files - base_files)} new, "
+                        f"{len(base_files - cur_files)} missing")
+    return [(load(os.path.join(current, name)),
+             load(os.path.join(baseline, name))) for name in common]
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("current", help="fresh BENCH_*.json file or directory")
+    parser.add_argument("baseline",
+                        help="reference BENCH_*.json file or directory")
+    parser.add_argument("--max-events-regression", type=float, default=0.10,
+                        metavar="FRAC",
+                        help="max tolerated drop in events/sec (default 0.10)")
+    parser.add_argument("--max-miss-drift", type=float, default=0.02,
+                        metavar="ABS",
+                        help="max tolerated |miss ratio delta| per point "
+                             "(default 0.02)")
+    parser.add_argument("--require-same-points", action="store_true",
+                        help="fail when the two sides' point labels (or "
+                             "driver files, in directory mode) differ")
+    parser.add_argument("--report", action="store_true",
+                        help="print a per-driver old-vs-new summary table "
+                             "instead of per-point OK lines")
+    args = parser.parse_args()
+
+    failures = []
+    rows = [compare_pair(cur, base, args, failures)
+            for cur, base in collect_pairs(args.current, args.baseline,
+                                           args, failures)]
+    if args.report:
+        print_report(rows)
+
+    matched = sum(r["matched"] for r in rows)
+    print(f"\n{len(rows)} driver(s), {matched} matched point(s), "
+          f"{len(failures)} failure(s)")
     for failure in failures:
         print(f"FAIL: {failure}")
     return 1 if failures else 0

@@ -21,7 +21,28 @@ void MemoryManager::SetStrategy(
     std::unique_ptr<AllocationStrategy> strategy) {
   RTQ_CHECK(strategy != nullptr);
   strategy_ = std::move(strategy);
+  cache_valid_ = false;
   Reallocate();
+}
+
+void MemoryManager::SetAllocation(Entry& entry, PageCount pages) {
+  allocated_sum_ += pages - entry.allocation;
+  admitted_count_ += (pages > 0) - (entry.allocation > 0);
+  entry.allocation = pages;
+  apply_(entry.request.id, pages);
+}
+
+bool MemoryManager::InsertIsStable(const EdKey& key,
+                                   const MemRequest& request) const {
+  if (reallocating_ || !cache_valid_) return false;
+  if (request.min_memory <= hint_.spare_min ||
+      request.max_memory <= hint_.spare_max) {
+    return false;  // the strategy might grant it something
+  }
+  if (frontier_is_end_) {
+    return !queries_.empty() && queries_.rbegin()->first < key;
+  }
+  return frontier_key_ < key;
 }
 
 void MemoryManager::AddQuery(const MemRequest& request) {
@@ -30,30 +51,42 @@ void MemoryManager::AddQuery(const MemRequest& request) {
                 "invalid memory demands");
   RTQ_CHECK_MSG(request.max_memory <= total_,
                 "query demands more memory than the machine has");
-  auto [id_it, id_inserted] = ids_.insert(request.id);
+  EdKey key{request.deadline, request.id};
+  // Decide the fast path before the insert mutates the ED order.
+  bool stable = InsertIsStable(key, request);
+  auto [id_it, id_inserted] = by_id_.emplace(request.id, key);
   RTQ_CHECK_MSG(id_inserted, "duplicate query id");
   (void)id_it;
-  auto [it, inserted] = queries_.emplace(
-      EdKey{request.deadline, request.id}, Entry{request, 0});
+  auto [it, inserted] = queries_.emplace(key, Entry{request, 0});
   RTQ_CHECK(inserted);
   (void)it;
+  // Fast path: the request parks in the denied tail with no allocation
+  // and nobody else moves; the cached hint stays valid (the admission
+  // frontier is untouched). No apply callbacks would have fired.
+  if (stable) return;
   Reallocate();
 }
 
 void MemoryManager::RemoveQuery(QueryId id) {
-  for (auto it = queries_.begin(); it != queries_.end(); ++it) {
-    if (it->second.request.id == id) {
-      PageCount held = it->second.allocation;
-      queries_.erase(it);
-      ids_.erase(id);
-      // Tell the receiver the query's pages are gone before anyone else
-      // is granted them (keeps external accounting conservative).
-      if (held > 0) apply_(id, 0);
-      Reallocate();
-      return;
-    }
-  }
-  RTQ_CHECK_MSG(false, "RemoveQuery: unknown query");
+  auto id_it = by_id_.find(id);
+  RTQ_CHECK_MSG(id_it != by_id_.end(), "RemoveQuery: unknown query");
+  auto it = queries_.find(id_it->second);
+  RTQ_DCHECK(it != queries_.end());
+  PageCount held = it->second.allocation;
+  // Fast path: dropping a zero-allocation query from strictly behind the
+  // admission frontier cannot move the frontier or free memory, so every
+  // other allocation is provably unchanged.
+  bool stable = !reallocating_ && cache_valid_ && held == 0 &&
+                !frontier_is_end_ && frontier_key_ < it->first;
+  allocated_sum_ -= held;
+  admitted_count_ -= held > 0;
+  queries_.erase(it);
+  by_id_.erase(id_it);
+  // Tell the receiver the query's pages are gone before anyone else
+  // is granted them (keeps external accounting conservative).
+  if (held > 0) apply_(id, 0);
+  if (stable) return;
+  Reallocate();
 }
 
 void MemoryManager::Reallocate() {
@@ -66,15 +99,22 @@ void MemoryManager::Reallocate() {
   reallocating_ = true;
   do {
     realloc_again_ = false;
+    cache_valid_ = false;
 
-    std::vector<MemRequest> ed;
-    ed.reserve(queries_.size());
-    for (const auto& [key, entry] : queries_) ed.push_back(entry.request);
+    ed_scratch_.clear();
+    key_scratch_.clear();
+    ed_scratch_.reserve(queries_.size());
+    key_scratch_.reserve(queries_.size());
+    for (const auto& [key, entry] : queries_) {
+      ed_scratch_.push_back(entry.request);
+      key_scratch_.push_back(key);
+    }
 
-    AllocationVector alloc = strategy_->Allocate(ed, total_);
-    RTQ_CHECK(alloc.size() == ed.size());
+    StableTailHint hint;
+    AllocationVector alloc =
+        strategy_->AllocateWithHint(ed_scratch_, total_, &hint);
+    RTQ_CHECK(alloc.size() == ed_scratch_.size());
 
-    // Apply shrinks before grows so the pool never oversubscribes.
     size_t i = 0;
     PageCount sum = 0;
     for (auto& [key, entry] : queries_) {
@@ -86,47 +126,37 @@ void MemoryManager::Reallocate() {
     }
     RTQ_CHECK_MSG(sum <= total_, "strategy oversubscribed the pool");
 
+    // Apply shrinks before grows so the pool never oversubscribes.
     i = 0;
     for (auto& [key, entry] : queries_) {
-      if (alloc[i] < entry.allocation) {
-        entry.allocation = alloc[i];
-        apply_(entry.request.id, alloc[i]);
-      }
+      if (alloc[i] < entry.allocation) SetAllocation(entry, alloc[i]);
       ++i;
     }
     i = 0;
     for (auto& [key, entry] : queries_) {
-      if (alloc[i] > entry.allocation) {
-        entry.allocation = alloc[i];
-        apply_(entry.request.id, alloc[i]);
-      }
+      if (alloc[i] > entry.allocation) SetAllocation(entry, alloc[i]);
       ++i;
+    }
+
+    // Cache the strategy's stable-tail proof for the fast paths; only
+    // when this pass is final (a deferred nested request means the state
+    // already moved under us).
+    if (!realloc_again_ && hint.valid) {
+      hint_ = hint;
+      frontier_is_end_ = hint.from >= key_scratch_.size();
+      if (!frontier_is_end_) frontier_key_ = key_scratch_[hint.from];
+      cache_valid_ = true;
     }
   } while (realloc_again_);
   reallocating_ = false;
 }
 
-PageCount MemoryManager::allocated_pages() const {
-  PageCount sum = 0;
-  for (const auto& [key, entry] : queries_) sum += entry.allocation;
-  return sum;
-}
-
-int64_t MemoryManager::admitted_count() const {
-  int64_t n = 0;
-  for (const auto& [key, entry] : queries_) n += entry.allocation > 0;
-  return n;
-}
-
-int64_t MemoryManager::waiting_count() const {
-  return live_count() - admitted_count();
-}
-
 PageCount MemoryManager::allocation_of(QueryId id) const {
-  for (const auto& [key, entry] : queries_) {
-    if (entry.request.id == id) return entry.allocation;
-  }
-  return 0;
+  auto id_it = by_id_.find(id);
+  if (id_it == by_id_.end()) return 0;
+  auto it = queries_.find(id_it->second);
+  RTQ_DCHECK(it != queries_.end());
+  return it->second.allocation;
 }
 
 }  // namespace rtq::core

@@ -6,6 +6,14 @@
 // Section 3.2 describes: "the memory allocation of a query can vary
 // between maximum, minimum, or no allocation as higher-priority queries
 // enter and leave the system".
+//
+// Steady-state churn takes an incremental path: strategies publish a
+// StableTailHint (strategy.h) proving that requests sorting behind the
+// admission frontier neither receive memory nor disturb anyone else, so
+// an arrival that lands in that dead zone — or the removal of a waiting
+// query parked there — skips the O(live queries) recompute entirely.
+// The fast paths are pure early-outs: every allocation and every apply
+// callback is bit-identical to what the full recompute would produce.
 
 #ifndef RTQ_CORE_MEMORY_MANAGER_H_
 #define RTQ_CORE_MEMORY_MANAGER_H_
@@ -13,7 +21,7 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -34,7 +42,8 @@ class MemoryManager {
   /// Replaces the strategy and reallocates.
   void SetStrategy(std::unique_ptr<AllocationStrategy> strategy);
 
-  /// Registers an arriving query and reallocates.
+  /// Registers an arriving query and reallocates (incrementally when the
+  /// strategy's stable-tail proof applies).
   void AddQuery(const MemRequest& request);
 
   /// Deregisters a completed/aborted query and reallocates. The apply
@@ -48,11 +57,11 @@ class MemoryManager {
 
   // --- introspection -----------------------------------------------------
   PageCount total_pages() const { return total_; }
-  PageCount allocated_pages() const;
+  PageCount allocated_pages() const { return allocated_sum_; }
   /// Queries with a non-zero allocation.
-  int64_t admitted_count() const;
+  int64_t admitted_count() const { return admitted_count_; }
   /// Queries registered but currently at zero allocation.
-  int64_t waiting_count() const;
+  int64_t waiting_count() const { return live_count() - admitted_count_; }
   int64_t live_count() const { return static_cast<int64_t>(queries_.size()); }
   PageCount allocation_of(QueryId id) const;
 
@@ -64,21 +73,43 @@ class MemoryManager {
 
   /// Key giving Earliest-Deadline order with deterministic tie-break.
   struct EdKey {
-    SimTime deadline;
-    QueryId id;
+    SimTime deadline = kNoDeadline;
+    QueryId id = kInvalidQueryId;
     bool operator<(const EdKey& o) const {
       if (deadline != o.deadline) return deadline < o.deadline;
       return id < o.id;
     }
   };
 
+  /// Records an allocation change and forwards it to the apply callback.
+  void SetAllocation(Entry& entry, PageCount pages);
+
+  /// True when the cached hint proves that inserting `key`/`request`
+  /// changes no existing allocation and grants nothing.
+  bool InsertIsStable(const EdKey& key, const MemRequest& request) const;
+
   PageCount total_;
   std::unique_ptr<AllocationStrategy> strategy_;
   ApplyFn apply_;
   std::map<EdKey, Entry> queries_;  // ED-ordered
-  std::unordered_set<QueryId> ids_; // duplicate-arrival guard
-  bool reallocating_ = false;       // guards against re-entrant reallocation
+  std::unordered_map<QueryId, EdKey> by_id_;  // O(1) id -> ED position
+  PageCount allocated_sum_ = 0;   // invariant: sum of entry.allocation
+  int64_t admitted_count_ = 0;    // invariant: #entries with allocation > 0
+  bool reallocating_ = false;     // guards against re-entrant reallocation
   bool realloc_again_ = false;
+
+  // --- incremental-reallocation cache ------------------------------------
+  // Valid between a full recompute and the next change it cannot absorb.
+  bool cache_valid_ = false;
+  StableTailHint hint_;
+  /// Key of the element at ED position hint_.from when the hint was
+  /// computed; `frontier_is_end_` means hint_.from == live_count() there
+  /// (only inserts sorting after *every* live query qualify).
+  EdKey frontier_key_;
+  bool frontier_is_end_ = false;
+  // Scratch buffers reused across recomputes to avoid allocation churn.
+  std::vector<MemRequest> ed_scratch_;
+  std::vector<EdKey> key_scratch_;
 };
 
 }  // namespace rtq::core

@@ -8,8 +8,16 @@ namespace rtq::core {
 
 AllocationVector MaxStrategy::Allocate(
     const std::vector<MemRequest>& ed_sorted, PageCount total) const {
+  StableTailHint hint;
+  return AllocateWithHint(ed_sorted, total, &hint);
+}
+
+AllocationVector MaxStrategy::AllocateWithHint(
+    const std::vector<MemRequest>& ed_sorted, PageCount total,
+    StableTailHint* hint) const {
   AllocationVector out(ed_sorted.size(), 0);
   PageCount remaining = total;
+  size_t frontier = ed_sorted.size();
   for (size_t i = 0; i < ed_sorted.size(); ++i) {
     const MemRequest& q = ed_sorted[i];
     RTQ_DCHECK(q.max_memory >= q.min_memory && q.min_memory >= 0);
@@ -18,9 +26,19 @@ AllocationVector MaxStrategy::Allocate(
       remaining -= q.max_memory;
     } else if (!bypass_blocked_) {
       // Strict ED: nobody may jump over a blocked higher-priority query.
+      frontier = i;
       break;
     }
   }
+  // Bypass mode considers every request, so only an insert sorting after
+  // the whole list is provably ignorable; strict mode stops at the first
+  // blocked request, so anything behind that block is. Either way a
+  // request whose maximum exceeds the leftover at the stop point gets
+  // nothing and changes nothing.
+  hint->valid = true;
+  hint->from = frontier;
+  hint->spare_min = -1;
+  hint->spare_max = remaining;
   return out;
 }
 
@@ -30,6 +48,13 @@ std::string MaxStrategy::name() const {
 
 AllocationVector MinMaxStrategy::Allocate(
     const std::vector<MemRequest>& ed_sorted, PageCount total) const {
+  StableTailHint hint;
+  return AllocateWithHint(ed_sorted, total, &hint);
+}
+
+AllocationVector MinMaxStrategy::AllocateWithHint(
+    const std::vector<MemRequest>& ed_sorted, PageCount total,
+    StableTailHint* hint) const {
   AllocationVector out(ed_sorted.size(), 0);
   size_t limit = mpl_limit_ < 0
                      ? ed_sorted.size()
@@ -47,6 +72,17 @@ AllocationVector MinMaxStrategy::Allocate(
     remaining -= q.min_memory;
     admitted = i + 1;
   }
+  // A request behind the admission frontier is never reached when the
+  // MPL cap closed admission (spare_min = -1: deny all), and otherwise
+  // is denied — becoming the new pass-1 breaker — iff its minimum
+  // exceeds the pass-1 leftover.
+  hint->valid = true;
+  hint->from = admitted;
+  hint->spare_min =
+      (mpl_limit_ >= 0 && admitted == static_cast<size_t>(mpl_limit_))
+          ? -1
+          : remaining;
+  hint->spare_max = -1;
   // Pass 2: top up to maximum in ED order. The last query topped up may
   // land between its minimum and maximum ("the query that gets the last
   // few memory pages", Section 3.2).
@@ -66,6 +102,13 @@ std::string MinMaxStrategy::name() const {
 
 AllocationVector ProportionalStrategy::Allocate(
     const std::vector<MemRequest>& ed_sorted, PageCount total) const {
+  StableTailHint hint;
+  return AllocateWithHint(ed_sorted, total, &hint);
+}
+
+AllocationVector ProportionalStrategy::AllocateWithHint(
+    const std::vector<MemRequest>& ed_sorted, PageCount total,
+    StableTailHint* hint) const {
   AllocationVector out(ed_sorted.size(), 0);
   size_t limit = mpl_limit_ < 0
                      ? ed_sorted.size()
@@ -79,6 +122,16 @@ AllocationVector ProportionalStrategy::Allocate(
     min_sum += ed_sorted[i].min_memory;
     admitted = i + 1;
   }
+  // Same frontier reasoning as MinMax: a denied insert at/behind the
+  // frontier leaves the admitted prefix — and hence the fitted fraction
+  // below — untouched.
+  hint->valid = true;
+  hint->from = admitted;
+  hint->spare_min =
+      (mpl_limit_ >= 0 && admitted == static_cast<size_t>(mpl_limit_))
+          ? -1
+          : total - min_sum;
+  hint->spare_max = -1;
   if (admitted == 0) return out;
 
   // Find the largest fraction f in [0, 1] such that

@@ -24,6 +24,31 @@
 
 namespace rtq::core {
 
+/// A proof emitted alongside an allocation that lets MemoryManager skip
+/// recomputation for steady-state membership churn. When `valid`, the
+/// strategy certifies that, against the exact input it just allocated:
+///
+///  * inserting a request at ED position >= `from` whose min_memory >
+///    `spare_min` AND max_memory > `spare_max` would receive no
+///    allocation and leave every other allocation unchanged, and
+///  * removing a zero-allocation request at ED position > `from` would
+///    leave every other allocation unchanged.
+///
+/// Both properties survive any sequence of such inserts/removals (the
+/// admitted prefix and its leftover memory are untouched), so one hint
+/// can absorb a whole burst of tail churn. Thresholds use strict `>`
+/// with -1 meaning "any request qualifies". Strategies without an
+/// incremental proof leave `valid` false: MemoryManager then recomputes
+/// on every change, which is always correct.
+struct StableTailHint {
+  bool valid = false;
+  /// ED position of the admission frontier (== input size when every
+  /// request was considered, e.g. Max-with-bypass).
+  size_t from = 0;
+  PageCount spare_min = -1;
+  PageCount spare_max = -1;
+};
+
 class AllocationStrategy {
  public:
   virtual ~AllocationStrategy() = default;
@@ -32,6 +57,16 @@ class AllocationStrategy {
   /// pool of `total` pages. Returns one entry per input, 0 = not admitted.
   virtual AllocationVector Allocate(const std::vector<MemRequest>& ed_sorted,
                                     PageCount total) const = 0;
+
+  /// Like Allocate(), but also fills `hint` (never null) with the
+  /// strategy's stable-tail proof. The default emits an invalid hint, so
+  /// third-party strategies stay correct without opting in.
+  virtual AllocationVector AllocateWithHint(
+      const std::vector<MemRequest>& ed_sorted, PageCount total,
+      StableTailHint* hint) const {
+    *hint = StableTailHint{};
+    return Allocate(ed_sorted, total);
+  }
 
   virtual std::string name() const = 0;
 };
@@ -50,6 +85,9 @@ class MaxStrategy : public AllocationStrategy {
 
   AllocationVector Allocate(const std::vector<MemRequest>& ed_sorted,
                             PageCount total) const override;
+  AllocationVector AllocateWithHint(const std::vector<MemRequest>& ed_sorted,
+                                    PageCount total,
+                                    StableTailHint* hint) const override;
   std::string name() const override;
 
  private:
@@ -63,6 +101,9 @@ class MinMaxStrategy : public AllocationStrategy {
 
   AllocationVector Allocate(const std::vector<MemRequest>& ed_sorted,
                             PageCount total) const override;
+  AllocationVector AllocateWithHint(const std::vector<MemRequest>& ed_sorted,
+                                    PageCount total,
+                                    StableTailHint* hint) const override;
   std::string name() const override;
 
   int64_t mpl_limit() const { return mpl_limit_; }
@@ -79,6 +120,9 @@ class ProportionalStrategy : public AllocationStrategy {
 
   AllocationVector Allocate(const std::vector<MemRequest>& ed_sorted,
                             PageCount total) const override;
+  AllocationVector AllocateWithHint(const std::vector<MemRequest>& ed_sorted,
+                                    PageCount total,
+                                    StableTailHint* hint) const override;
   std::string name() const override;
 
  private:

@@ -1,5 +1,7 @@
 #include "model/disk.h"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/check.h"
@@ -28,51 +30,63 @@ void Disk::Submit(DiskRequest request) {
       request.start_page >= 0 &&
           request.start_page + request.pages <= geometry_.params().capacity(),
       "disk request outside disk capacity");
-  queue_.push_back(std::move(request));
+  QueueKey key{request.deadline, geometry_.CylinderOf(request.start_page),
+               submit_seq_++};
+  by_query_[request.query].push_back(key);
+  queue_.emplace(key, std::move(request));
   if (!in_service_) StartNext();
 }
 
 int64_t Disk::CancelQuery(QueryId query) {
   int64_t removed = 0;
-  for (auto it = queue_.begin(); it != queue_.end();) {
-    if (it->query == query) {
-      it = queue_.erase(it);
+  auto it = by_query_.find(query);
+  if (it != by_query_.end()) {
+    for (const QueueKey& key : it->second) {
+      queue_.erase(key);
       ++removed;
-    } else {
-      ++it;
     }
+    by_query_.erase(it);
   }
   if (in_service_ && current_.query == query) current_cancelled_ = true;
   return removed;
 }
 
-std::list<DiskRequest>::iterator Disk::PickByElevator() {
-  RTQ_DCHECK(!queue_.empty());
-  // Step 1: earliest deadline wins.
-  SimTime best_deadline = kNoDeadline;
-  for (const DiskRequest& r : queue_) {
-    if (r.deadline < best_deadline) best_deadline = r.deadline;
-  }
-  // Step 2: among requests tied at the earliest deadline, apply the
-  // elevator: continue the current sweep direction from the head position,
-  // reversing when no request lies ahead.
-  auto better = [&](std::list<DiskRequest>::iterator cand,
-                    std::list<DiskRequest>::iterator best, bool up) {
-    Cylinder cc = geometry_.CylinderOf(cand->start_page);
-    Cylinder bc = geometry_.CylinderOf(best->start_page);
-    return up ? cc < bc : cc > bc;
-  };
-  auto pick_in_direction =
-      [&](bool up) -> std::list<DiskRequest>::iterator {
-    auto best = queue_.end();
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (it->deadline != best_deadline) continue;
-      Cylinder cyl = geometry_.CylinderOf(it->start_page);
-      bool ahead = up ? cyl >= head_ : cyl <= head_;
-      if (!ahead) continue;
-      if (best == queue_.end() || better(it, best, up)) best = it;
+void Disk::UnindexRequest(QueryId query, const QueueKey& key) {
+  auto it = by_query_.find(query);
+  RTQ_DCHECK(it != by_query_.end());
+  std::vector<QueueKey>& keys = it->second;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i].seq == key.seq) {
+      keys[i] = keys.back();
+      keys.pop_back();
+      break;
     }
-    return best;
+  }
+  if (keys.empty()) by_query_.erase(it);
+}
+
+Disk::Queue::iterator Disk::PickByElevator() {
+  RTQ_DCHECK(!queue_.empty());
+  // The earliest-deadline group sits at the front of the key order.
+  const SimTime dl = queue_.begin()->first.deadline;
+  // Among requests tied at the earliest deadline, continue the current
+  // sweep direction from the head position, reversing when no request
+  // lies ahead: the nearest cylinder at-or-ahead of the head, FIFO
+  // (lowest sequence) within a cylinder.
+  auto pick_in_direction = [&](bool up) -> Queue::iterator {
+    if (up) {
+      auto it = queue_.lower_bound(QueueKey{dl, head_, 0});
+      if (it != queue_.end() && it->first.deadline == dl) return it;
+      return queue_.end();
+    }
+    auto it = queue_.upper_bound(
+        QueueKey{dl, head_, std::numeric_limits<uint64_t>::max()});
+    if (it == queue_.begin()) return queue_.end();
+    --it;
+    if (it->first.deadline != dl) return queue_.end();
+    // `it` is the highest (cylinder, seq) at or below the head; rewind to
+    // the FIFO-first request on that cylinder.
+    return queue_.lower_bound(QueueKey{dl, it->first.cyl, 0});
   };
   auto it = pick_in_direction(sweep_up_);
   if (it == queue_.end()) {
@@ -86,7 +100,8 @@ std::list<DiskRequest>::iterator Disk::PickByElevator() {
 void Disk::StartNext() {
   if (queue_.empty()) return;
   auto it = PickByElevator();
-  current_ = std::move(*it);
+  current_ = std::move(it->second);
+  UnindexRequest(current_.query, it->first);
   queue_.erase(it);
   current_cancelled_ = false;
   in_service_ = true;

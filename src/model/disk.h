@@ -5,13 +5,30 @@
 // elevator algorithm." Service is non-preemptive: an access in progress
 // completes even if a more urgent request arrives, and even if its issuing
 // query is aborted (the callback is simply dropped in that case).
+//
+// The queue is indexed by (deadline, cylinder, submission sequence), so
+// the scheduling decision — earliest deadline first, elevator sweep among
+// deadline ties, FIFO among same-cylinder ties — and per-query
+// cancellation are all O(log n) instead of full-queue scans.
+//
+// Cancellation model: CancelQuery() removes only *queued* requests. A
+// request already in service keeps the disk busy until its mechanical
+// access finishes — service is non-preemptive — but its completion
+// callback is dropped. The cancelled query therefore still occupies the
+// head for the remainder of the access; a subsequent request (even one
+// resubmitted by the same query id) waits behind it and is scheduled
+// normally once the access completes. Only the in-service request being
+// serviced *at the time of the call* is suppressed: a resubmission under
+// the same query id is a new request and completes normally.
 
 #ifndef RTQ_MODEL_DISK_H_
 #define RTQ_MODEL_DISK_H_
 
 #include <cstdint>
 #include <functional>
-#include <list>
+#include <map>
+#include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 #include "model/disk_cache.h"
@@ -46,8 +63,8 @@ class Disk {
 
   /// Removes all queued requests belonging to `query` and drops the
   /// completion callback of an in-service request of that query (the
-  /// mechanical access itself still finishes). Returns the number of
-  /// queued requests removed.
+  /// mechanical access itself still finishes; see the cancellation model
+  /// above). Returns the number of queued requests removed.
   int64_t CancelQuery(QueryId query);
 
   /// Fraction of time the disk was busy since construction.
@@ -68,19 +85,40 @@ class Disk {
   int64_t cache_hits() const { return cache_hits_; }
 
  private:
+  /// Scheduling key: ED order first, then cylinder for the elevator
+  /// sweep, then submission sequence so equal-cylinder ties stay FIFO.
+  struct QueueKey {
+    SimTime deadline;
+    Cylinder cyl;
+    uint64_t seq;
+    bool operator<(const QueueKey& o) const {
+      if (deadline != o.deadline) return deadline < o.deadline;
+      if (cyl != o.cyl) return cyl < o.cyl;
+      return seq < o.seq;
+    }
+  };
+  using Queue = std::map<QueueKey, DiskRequest>;
+
   /// Picks the next request per ED + elevator and starts service.
   void StartNext();
   void OnServiceComplete();
 
-  /// Chooses among `candidates` (iterators into queue_) by elevator order.
-  std::list<DiskRequest>::iterator PickByElevator();
+  /// Chooses the next request by earliest deadline, breaking ties with
+  /// the elevator sweep, via index lookups: O(log n).
+  Queue::iterator PickByElevator();
+
+  /// Drops `key` from the per-query index.
+  void UnindexRequest(QueryId query, const QueueKey& key);
 
   sim::Simulator* sim_;
   DiskGeometry geometry_;
   DiskCache cache_;
   DiskId id_;
 
-  std::list<DiskRequest> queue_;
+  Queue queue_;
+  /// Keys of each query's queued requests, for O(log n) CancelQuery.
+  std::unordered_map<QueryId, std::vector<QueueKey>> by_query_;
+  uint64_t submit_seq_ = 0;
   bool in_service_ = false;
   DiskRequest current_;
   bool current_cancelled_ = false;

@@ -8,44 +8,96 @@ namespace rtq::sim {
 
 EventId EventQueue::Schedule(SimTime when, Callback cb) {
   RTQ_CHECK_MSG(when == when, "event time must not be NaN");  // NaN check
-  EventId id = next_id_++;
-  heap_.push(Entry{when, id});
-  callbacks_.emplace(id, std::move(cb));
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  ++s.gen;  // even -> odd: slot is live
+  uint64_t seq = ++scheduled_;
+  heap_.push_back(HeapEntry{when, seq, slot, s.gen});
+  SiftUp(heap_.size() - 1);
   ++live_count_;
-  return id;
+  return MakeId(slot, s.gen);
 }
 
 bool EventQueue::Cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
+  uint64_t slot_plus_one = id >> 32;
+  if (slot_plus_one == 0 || slot_plus_one > slots_.size()) return false;
+  uint32_t slot = static_cast<uint32_t>(slot_plus_one - 1);
+  uint32_t gen = static_cast<uint32_t>(id);
+  Slot& s = slots_[slot];
+  if (s.gen != gen) return false;  // already fired, cancelled, or recycled
+  s.cb = nullptr;
+  ++s.gen;  // odd -> even: slot is free; the heap entry is now stale
+  free_slots_.push_back(slot);
   --live_count_;
   return true;
 }
 
-void EventQueue::SkimCancelled() {
-  while (!heap_.empty() &&
-         callbacks_.find(heap_.top().id) == callbacks_.end()) {
-    heap_.pop();
+void EventQueue::SiftUp(size_t i) const {
+  HeapEntry e = heap_[i];
+  while (i > 0) {
+    size_t parent = (i - 1) / kArity;
+    if (!Before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
   }
+  heap_[i] = e;
 }
 
-SimTime EventQueue::PeekTime() {
+void EventQueue::SiftDown(size_t i) const {
+  HeapEntry e = heap_[i];
+  const size_t n = heap_.size();
+  for (;;) {
+    size_t first_child = i * kArity + 1;
+    if (first_child >= n) break;
+    size_t last_child = first_child + kArity;
+    if (last_child > n) last_child = n;
+    size_t best = first_child;
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (Before(heap_[c], heap_[best])) best = c;
+    }
+    if (!Before(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::PopRoot() const {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+}
+
+void EventQueue::SkimCancelled() const {
+  while (!heap_.empty() && Stale(heap_.front())) PopRoot();
+}
+
+SimTime EventQueue::PeekTime() const {
   SkimCancelled();
   RTQ_CHECK_MSG(!heap_.empty(), "PeekTime on empty queue");
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 std::pair<SimTime, EventQueue::Callback> EventQueue::Pop() {
   SkimCancelled();
   RTQ_CHECK_MSG(!heap_.empty(), "Pop on empty queue");
-  Entry top = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(top.id);
-  RTQ_DCHECK(it != callbacks_.end());
-  Callback cb = std::move(it->second);
-  callbacks_.erase(it);
+  const HeapEntry top = heap_.front();
+  Slot& s = slots_[top.slot];
+  RTQ_DCHECK(s.gen == top.gen);
+  Callback cb = std::move(s.cb);
+  s.cb = nullptr;
+  ++s.gen;  // odd -> even: recycle the slot
+  free_slots_.push_back(top.slot);
   --live_count_;
+  PopRoot();
   return {top.time, std::move(cb)};
 }
 

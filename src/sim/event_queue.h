@@ -1,18 +1,22 @@
 // Calendar of pending simulation events.
 //
-// A binary min-heap keyed on (time, sequence-number): events at equal
-// simulated times fire in scheduling order, which makes runs fully
-// deterministic. Cancellation is lazy — cancelled entries are tombstoned
-// and skipped at pop time — so Cancel() is O(1) and the heap never needs
-// random-access deletion.
+// A slab-allocated, indexed 4-ary min-heap keyed on (time, sequence
+// number): events at equal simulated times fire in scheduling order,
+// which makes runs fully deterministic. Callbacks live in recycled slab
+// slots addressed by index, so scheduling does no hash-map insert and
+// popping does no hash-map lookup; slots carry a generation counter so
+// Cancel() is O(1) — it retires the slot immediately and the stale heap
+// entry, recognized by its outdated generation, is dropped for free the
+// next time it surfaces at the heap root. The 4-ary layout halves the
+// sift-down depth of a binary heap and keeps siblings on one cache line.
 
 #ifndef RTQ_SIM_EVENT_QUEUE_H_
 #define RTQ_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -35,8 +39,8 @@ class EventQueue {
   /// Schedules `cb` to fire at absolute simulated time `when`.
   EventId Schedule(SimTime when, Callback cb);
 
-  /// Cancels a pending event. Returns false if the event already fired,
-  /// was already cancelled, or never existed.
+  /// Cancels a pending event in O(1). Returns false if the event already
+  /// fired, was already cancelled, or never existed.
   bool Cancel(EventId id);
 
   /// True if no live (non-cancelled) events remain.
@@ -46,31 +50,62 @@ class EventQueue {
   size_t Size() const { return live_count_; }
 
   /// Time of the earliest live event. Requires !Empty().
-  SimTime PeekTime();
+  SimTime PeekTime() const;
 
   /// Removes and returns the earliest live event. Requires !Empty().
   /// The returned pair is (time, callback).
   std::pair<SimTime, Callback> Pop();
 
   /// Total events ever scheduled (live + fired + cancelled); for stats.
-  uint64_t total_scheduled() const { return next_id_ - 1; }
+  uint64_t total_scheduled() const { return scheduled_; }
 
  private:
-  struct Entry {
-    SimTime time;
-    EventId id;
-    bool operator>(const Entry& other) const {
-      if (time != other.time) return time > other.time;
-      return id > other.id;
-    }
+  /// A recycled callback slot. `gen` is odd while the slot holds a live
+  /// event and even while it is free; every hand-over bumps it, so an
+  /// EventId or heap entry minted for an earlier occupant can never
+  /// match a recycled slot.
+  struct Slot {
+    Callback cb;
+    uint32_t gen = 0;
   };
 
-  /// Drops cancelled entries from the heap top.
-  void SkimCancelled();
+  /// One heap element. The ordering key (time, seq) is stored inline so
+  /// sifting never dereferences the slab; (slot, gen) identifies the
+  /// event and exposes stale (cancelled) entries by generation mismatch.
+  struct HeapEntry {
+    SimTime time;
+    uint64_t seq;
+    uint32_t slot;
+    uint32_t gen;
+  };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
-  EventId next_id_ = 1;
+  static constexpr size_t kArity = 4;
+
+  static bool Before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  /// True when the heap entry refers to a cancelled (or recycled) slot.
+  bool Stale(const HeapEntry& e) const { return slots_[e.slot].gen != e.gen; }
+
+  // The heap helpers are const so the lazy skim can run from const
+  // accessors; they only touch the mutable heap_.
+  void SiftUp(size_t i) const;
+  void SiftDown(size_t i) const;
+  void PopRoot() const;
+  /// Drops stale entries from the heap top. Observationally const: it
+  /// only discards entries whose events no longer exist.
+  void SkimCancelled() const;
+
+  static EventId MakeId(uint32_t slot, uint32_t gen) {
+    return (static_cast<EventId>(slot) + 1) << 32 | gen;
+  }
+
+  mutable std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  uint64_t scheduled_ = 0;
   size_t live_count_ = 0;
 };
 

@@ -90,6 +90,27 @@ TEST(Disk, CancelInServiceDropsCallbackButFinishesAccess) {
   EXPECT_EQ(disk.completed_requests(), 1);  // access still completed
 }
 
+// Regression test for the documented cancellation model: cancelling an
+// in-service request leaves the access occupying the head (only its
+// callback is dropped), and a resubmission under the same query id is a
+// brand-new request that must complete normally behind it.
+TEST(Disk, CancelInServiceThenResubmitCompletesNormally) {
+  sim::Simulator sim;
+  Disk disk(&sim, DiskParams(), 0);
+  int old_fired = 0;
+  int new_fired = 0;
+  disk.Submit(MakeRequest(1, 10.0, 0, 6, [&] { ++old_fired; }));
+  EXPECT_TRUE(disk.busy());  // started service immediately
+  EXPECT_EQ(disk.CancelQuery(1), 0);  // in service: nothing queued removed
+  // Resubmit while the cancelled access still holds the head.
+  disk.Submit(MakeRequest(1, 10.0, 900, 6, [&] { ++new_fired; }));
+  sim.RunToCompletion();
+  EXPECT_EQ(old_fired, 0);  // suppressed by the cancel
+  EXPECT_EQ(new_fired, 1);  // the resubmission is not suppressed
+  EXPECT_EQ(disk.completed_requests(), 2);  // both accesses finished
+  EXPECT_EQ(disk.queue_length(), 0u);
+}
+
 TEST(Disk, UtilizationTracksBusyTime) {
   sim::Simulator sim;
   DiskParams params;

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
+
+#include "common/rng.h"
 
 namespace rtq::sim {
 namespace {
@@ -97,6 +100,78 @@ TEST(EventQueue, TotalScheduledCountsEverything) {
   q.Schedule(2.0, [] {});
   q.Cancel(a);
   EXPECT_EQ(q.total_scheduled(), 2u);
+}
+
+// Randomized interleavings of Schedule/Cancel/Pop checked against a
+// naive reference model (a flat vector scanned for the (time, sequence)
+// minimum). Fixed seeds so failures reproduce. This exercises slab
+// recycling, generation churn after cancels, and the lazy skim — the
+// machinery the indexed-heap rewrite added.
+TEST(EventQueue, FuzzMatchesNaiveReferenceModel) {
+  struct RefEvent {
+    double time;
+    uint64_t seq;  // global schedule order, the deterministic tie-break
+    EventId id;
+    int payload;
+  };
+  for (uint64_t seed : {1u, 7u, 99u, 1234u}) {
+    Rng rng(seed);
+    EventQueue q;
+    std::vector<RefEvent> live;    // reference: still-pending events
+    std::vector<EventId> retired;  // popped or cancelled ids
+    uint64_t seq = 0;
+    int next_payload = 0;
+    int fired = -1;
+    auto ref_min = [&] {
+      return std::min_element(live.begin(), live.end(),
+                              [](const RefEvent& a, const RefEvent& b) {
+                                return a.time != b.time ? a.time < b.time
+                                                        : a.seq < b.seq;
+                              });
+    };
+    for (int step = 0; step < 4000; ++step) {
+      int64_t op = rng.UniformInt(0, 9);
+      if (op < 5 || live.empty()) {
+        // Coarse times force plenty of exact ties.
+        double t = static_cast<double>(rng.UniformInt(0, 49));
+        int payload = next_payload++;
+        EventId id = q.Schedule(t, [&fired, payload] { fired = payload; });
+        live.push_back(RefEvent{t, ++seq, id, payload});
+      } else if (op < 7) {
+        size_t victim =
+            static_cast<size_t>(rng.UniformInt(0, live.size() - 1));
+        EXPECT_TRUE(q.Cancel(live[victim].id));
+        retired.push_back(live[victim].id);
+        live.erase(live.begin() + victim);
+      } else if (op < 8 && !retired.empty()) {
+        // Cancelling a dead id (popped, cancelled, or recycled) fails.
+        size_t idx =
+            static_cast<size_t>(rng.UniformInt(0, retired.size() - 1));
+        EXPECT_FALSE(q.Cancel(retired[idx]));
+      } else {
+        auto expect = ref_min();
+        ASSERT_DOUBLE_EQ(q.PeekTime(), expect->time);
+        auto [when, cb] = q.Pop();
+        ASSERT_DOUBLE_EQ(when, expect->time);
+        cb();
+        ASSERT_EQ(fired, expect->payload);
+        retired.push_back(expect->id);
+        live.erase(expect);
+      }
+      ASSERT_EQ(q.Size(), live.size());
+      ASSERT_EQ(q.Empty(), live.empty());
+    }
+    // Drain: the remaining events must come out in exact reference order.
+    while (!live.empty()) {
+      auto expect = ref_min();
+      auto [when, cb] = q.Pop();
+      ASSERT_DOUBLE_EQ(when, expect->time);
+      cb();
+      ASSERT_EQ(fired, expect->payload);
+      live.erase(expect);
+    }
+    EXPECT_TRUE(q.Empty());
+  }
 }
 
 TEST(EventQueue, ManyInterleavedOpsKeepOrder) {

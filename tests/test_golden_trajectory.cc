@@ -1,0 +1,50 @@
+// Determinism tripwire for the hot-path rewrites (indexed event
+// calendar, elevator index, incremental reallocation): short runs of the
+// full system must reproduce these exact constants, recorded from the
+// pre-rewrite simulator. Any change here means simulation *behaviour*
+// changed — which the optimization PRs promise never to do. If a future
+// PR intends a behavioural change, re-record the constants and say so in
+// the commit message.
+
+#include <gtest/gtest.h>
+
+#include "engine/rtdbs.h"
+#include "harness/paper_experiments.h"
+
+namespace rtq::engine {
+namespace {
+
+struct Golden {
+  const char* policy;
+  double rate;
+  SimTime horizon;
+  int64_t completions;
+  int64_t misses;
+  uint64_t events;
+};
+
+// Recorded at seed 42 on the baseline configuration (Section 5.1).
+constexpr Golden kGolden[] = {
+    {"pmm", 0.06, 1800.0, 91, 5, 522220},
+    {"minmax", 0.07, 1800.0, 104, 10, 733801},
+    {"max", 0.05, 1800.0, 72, 1, 266748},
+};
+
+TEST(GoldenTrajectory, ShortRunsMatchPreRewriteConstants) {
+  for (const Golden& g : kGolden) {
+    SCOPED_TRACE(g.policy);
+    auto sys = Rtdbs::Create(harness::BaselineConfig(g.rate, {g.policy}, 42));
+    ASSERT_TRUE(sys.ok());
+    sys.value()->RunUntil(g.horizon);
+    SystemSummary s = sys.value()->Summarize();
+    EXPECT_EQ(s.overall.completions, g.completions);
+    EXPECT_EQ(s.overall.misses, g.misses);
+    EXPECT_EQ(s.events_dispatched, g.events);
+    EXPECT_DOUBLE_EQ(
+        s.overall.miss_ratio,
+        static_cast<double>(g.misses) / static_cast<double>(g.completions));
+  }
+}
+
+}  // namespace
+}  // namespace rtq::engine
