@@ -51,6 +51,10 @@ struct PolicyHost {
   PmmParams pmm;
   /// Number of workload classes (for per-class policies).
   int32_t num_classes = 0;
+  /// Cadence of OnTick (the engine's MPL-sampler interval, simulated
+  /// seconds); <= 0 means the engine never ticks. Time-driven policies
+  /// should reject hosts that cannot feed them from Attach().
+  SimTime tick_interval = 0.0;
 };
 
 /// One query lifecycle event. `info` always carries the query's identity

@@ -6,6 +6,42 @@
 
 namespace rtq::core {
 
+AllocationVector AllocateThroughFilter(
+    const AllocationStrategy& inner, const std::vector<MemRequest>& ed_sorted,
+    PageCount total, const std::function<bool(const MemRequest&)>& keep,
+    StableTailHint* hint) {
+  // Record rejects only: `keep` may be stateful, so it runs exactly once
+  // per request, and the common everything-kept reallocation pays no
+  // copy of the request vector.
+  std::vector<size_t> rejected;
+  for (size_t i = 0; i < ed_sorted.size(); ++i) {
+    if (!keep(ed_sorted[i])) rejected.push_back(i);
+  }
+  if (rejected.empty()) {
+    return inner.AllocateWithHint(ed_sorted, total, hint);
+  }
+  *hint = StableTailHint{};
+  std::vector<MemRequest> kept;
+  std::vector<size_t> position;  // kept index -> ed_sorted index
+  kept.reserve(ed_sorted.size() - rejected.size());
+  position.reserve(ed_sorted.size() - rejected.size());
+  size_t next_reject = 0;
+  for (size_t i = 0; i < ed_sorted.size(); ++i) {
+    if (next_reject < rejected.size() && rejected[next_reject] == i) {
+      ++next_reject;
+      continue;
+    }
+    kept.push_back(ed_sorted[i]);
+    position.push_back(i);
+  }
+  AllocationVector inner_out = inner.Allocate(kept, total);
+  AllocationVector out(ed_sorted.size(), 0);
+  for (size_t i = 0; i < position.size(); ++i) {
+    out[position[i]] = inner_out[i];
+  }
+  return out;
+}
+
 AllocationVector MaxStrategy::Allocate(
     const std::vector<MemRequest>& ed_sorted, PageCount total) const {
   StableTailHint hint;

@@ -17,6 +17,7 @@
 #ifndef RTQ_CORE_STRATEGY_H_
 #define RTQ_CORE_STRATEGY_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -70,6 +71,21 @@ class AllocationStrategy {
 
   virtual std::string name() const = 0;
 };
+
+/// Shared machinery for "filter, delegate, scatter" wrapper strategies
+/// (per-class quotas, feasibility shedding): requests `keep` rejects
+/// (called once per request, in ED order — may be stateful) receive 0;
+/// the survivors are allocated by `inner` and the grants scattered back
+/// to their original positions. When every request is kept the wrapper
+/// is a no-op, so this delegates to `inner.AllocateWithHint` and the
+/// inner stable-tail proof lands in `*hint` verbatim — each wrapper
+/// decides whether exposing it is sound (quotas: yes; time-dependent
+/// filters: no, discard it). When anything is filtered, `*hint` is
+/// invalid.
+AllocationVector AllocateThroughFilter(
+    const AllocationStrategy& inner, const std::vector<MemRequest>& ed_sorted,
+    PageCount total, const std::function<bool(const MemRequest&)>& keep,
+    StableTailHint* hint);
 
 class MaxStrategy : public AllocationStrategy {
  public:

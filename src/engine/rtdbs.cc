@@ -218,6 +218,7 @@ Status Rtdbs::Init() {
   host.now = [this] { return sim_.Now(); };
   host.pmm = config_.pmm;
   host.num_classes = static_cast<int32_t>(config_.workload.classes.size());
+  host.tick_interval = config_.mpl_sample_interval;
   RTQ_RETURN_IF_ERROR(policy_->Attach(host));
 
   source_ = std::make_unique<workload::Source>(

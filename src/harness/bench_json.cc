@@ -163,6 +163,13 @@ void BenchJsonEmitter::AddResult(const RunResult& result,
   points_.push_back(std::move(point));
 }
 
+void BenchJsonEmitter::AddResult(const RunResult& result,
+                                 const std::string& policy, double lambda,
+                                 double gap_to_oracle) {
+  AddResult(result, policy, lambda);
+  points_.back().gap_to_oracle = gap_to_oracle;
+}
+
 void BenchJsonEmitter::AddConfig(const std::string& key,
                                  const std::string& value) {
   extra_config_.emplace_back(key, value);
@@ -202,6 +209,9 @@ std::string BenchJsonEmitter::ToJson(double total_wall_seconds) const {
     w.Key("misses").Int(p.misses);
     w.Key("events").Int(p.events);
     w.Key("wall_seconds").Number(p.wall_seconds);
+    if (std::isfinite(p.gap_to_oracle)) {
+      w.Key("gap_to_oracle").Number(p.gap_to_oracle);
+    }
     w.EndObject();
   }
   w.EndArray();

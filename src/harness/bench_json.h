@@ -31,6 +31,7 @@
 #define RTQ_HARNESS_BENCH_JSON_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -83,6 +84,13 @@ class BenchJsonEmitter {
   void AddResult(const RunResult& result, const std::string& policy,
                  double lambda);
 
+  /// AddResult plus an optional "gap_to_oracle" field: this point's miss
+  /// ratio minus the clairvoyant oracle-ed bound's at the same workload
+  /// point (bench_headroom's headroom metric). Pass NaN to omit the
+  /// field; other drivers' documents are unchanged.
+  void AddResult(const RunResult& result, const std::string& policy,
+                 double lambda, double gap_to_oracle);
+
   /// Adds a driver-specific key under "config" (e.g. "scale": "10").
   void AddConfig(const std::string& key, const std::string& value);
 
@@ -112,6 +120,8 @@ class BenchJsonEmitter {
     int64_t misses = 0;
     int64_t events = 0;
     double wall_seconds = 0.0;
+    /// Emitted only when finite (see the AddResult overload).
+    double gap_to_oracle = std::numeric_limits<double>::quiet_NaN();
   };
 
   std::string driver_;

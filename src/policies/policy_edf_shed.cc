@@ -1,0 +1,128 @@
+// "edf-shed" — Earliest-Deadline-First allocation with feasibility
+// shedding.
+//
+// A firm real-time system gains nothing from queries that finish late,
+// so spending memory on a query that can no longer make its deadline is
+// pure waste (the paper's Section 3.1 motivates admission control with
+// exactly this observation). edf-shed acts on it with the information
+// the system already has: the cost model's stand-alone execution-time
+// estimate (MemRequest::standalone_estimate, the same estimate deadline
+// assignment uses in Section 4.1). Any query whose remaining time to
+// deadline is below `margin * estimate` — i.e. infeasible even at its
+// maximum allocation on an idle machine — is shed: it gets no memory and
+// ages out at its deadline. The survivors share memory in plain EDF
+// order under the MinMax discipline (minimums first, then top-ups to
+// the maximum in deadline order), with no MPL cap.
+//
+//   spec: "edf-shed"           (margin = 1)
+//         "edf-shed:m=1.5"     (require 1.5x the estimate to remain)
+//
+// Contrast with "oracle-ed" (policy_oracle_ed.cc): the oracle pairs the
+// same feasibility filter with all-or-nothing maximum grants, making it
+// an optimistic upper bound; edf-shed is the practical sibling — same
+// signal, but admitted queries degrade gracefully through the min/max
+// range instead of being skipped when the pool cannot cover their
+// maximum. Registers from its own translation unit: no edits under
+// src/engine/.
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/memory_policy.h"
+#include "core/policy_registry.h"
+#include "core/strategy.h"
+
+namespace rtq::core {
+namespace {
+
+// Note: this strategy deliberately inherits the default (invalid)
+// StableTailHint from AllocationStrategy, like oracle-ed. Its output
+// depends on the clock — a query feasible at one reallocation can be
+// infeasible (and must be revoked) at the next — so a cached stable-tail
+// proof would let MemoryManager skip recomputes that actually change
+// allocations. Every membership change therefore recomputes in full,
+// which is always correct.
+class EdfShedStrategy : public AllocationStrategy {
+ public:
+  EdfShedStrategy(std::function<SimTime()> now, double margin)
+      : now_(std::move(now)),
+        margin_(margin),
+        inner_(/*mpl_limit=*/-1) {}
+
+  AllocationVector Allocate(const std::vector<MemRequest>& ed_sorted,
+                            PageCount total) const override {
+    SimTime now = now_();
+    StableTailHint discarded;  // time-dependent: never exposed (above)
+    return AllocateThroughFilter(
+        inner_, ed_sorted, total,
+        [this, now](const MemRequest& q) {
+          // Shed queries that are infeasible even at max allocation.
+          return q.deadline - now >= margin_ * q.standalone_estimate;
+        },
+        &discarded);
+  }
+
+  std::string name() const override { return "EdfShed"; }
+
+ private:
+  std::function<SimTime()> now_;
+  double margin_;
+  MinMaxStrategy inner_;
+};
+
+class EdfShedPolicy : public MemoryPolicy {
+ public:
+  explicit EdfShedPolicy(double margin) : margin_(margin) {}
+
+  Status Attach(const PolicyHost& host) override {
+    if (!host.now) {
+      return Status::FailedPrecondition(
+          "edf-shed needs a simulation clock from the host");
+    }
+    host.mm->SetStrategy(
+        std::make_unique<EdfShedStrategy>(host.now, margin_));
+    return Status::Ok();
+  }
+
+  std::string Describe() const override {
+    return margin_ == 1.0 ? "edf-shed"
+                          : "edf-shed:m=" + FormatSpecDoubleList({margin_});
+  }
+  std::string DisplayName() const override { return "EDF-Shed"; }
+
+ private:
+  double margin_;
+};
+
+StatusOr<std::unique_ptr<MemoryPolicy>> MakeEdfShedPolicy(
+    const PolicySpec& spec) {
+  double margin = 1.0;
+  if (!spec.args.empty()) {
+    auto kv = ParseSpecKeyValue(spec.args);
+    if (!kv.ok()) return kv.status();
+    if (kv.value().first != "m") {
+      return Status::InvalidArgument("edf-shed: unknown argument '" +
+                                     kv.value().first + "' (expected m=...)");
+    }
+    auto parsed = ParseSpecDoubleList(kv.value().second);
+    if (!parsed.ok()) return parsed.status();
+    if (parsed.value().size() != 1 || !std::isfinite(parsed.value()[0]) ||
+        parsed.value()[0] <= 0.0) {
+      return Status::InvalidArgument(
+          "edf-shed: m must be a single finite positive number");
+    }
+    margin = parsed.value()[0];
+  }
+  return std::unique_ptr<MemoryPolicy>(new EdfShedPolicy(margin));
+}
+
+RTQ_REGISTER_POLICY("edf-shed",
+                    "edf-shed[:m=F] — EDF MinMax sharing, infeasible "
+                    "queries shed",
+                    MakeEdfShedPolicy);
+
+}  // namespace
+}  // namespace rtq::core

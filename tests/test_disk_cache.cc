@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <numeric>
+
+#include "common/rng.h"
+
 namespace rtq::model {
 namespace {
 
@@ -69,6 +74,77 @@ TEST(DiskCache, ZeroCapacityDisables) {
 TEST(DiskCache, EmptyRangeAlwaysContained) {
   DiskCache cache(32);
   EXPECT_TRUE(cache.Contains(12345, 0));
+}
+
+// Randomized Insert/Contains/Invalidate interleavings checked against a
+// naive reference model written from the header contract alone (the
+// same pattern as the EventQueue fuzz test): whole-extent LRU, oldest
+// evicted first until the new range fits, oversized inserts keep only
+// their tail, no stitching of adjacent extents. Fixed seeds so failures
+// reproduce.
+TEST(DiskCache, FuzzMatchesNaiveReferenceModel) {
+  struct RefExtent {
+    PageCount start;
+    PageCount pages;
+  };
+  for (uint64_t seed : {1u, 7u, 99u, 1234u}) {
+    Rng rng(seed);
+    for (PageCount capacity : {PageCount{0}, PageCount{8}, PageCount{32}}) {
+      DiskCache cache(capacity);
+      std::deque<RefExtent> ref;  // front = oldest
+      auto ref_pages = [&] {
+        return std::accumulate(ref.begin(), ref.end(), PageCount{0},
+                               [](PageCount sum, const RefExtent& e) {
+                                 return sum + e.pages;
+                               });
+      };
+      auto ref_contains = [&](PageCount start, PageCount pages) {
+        if (pages <= 0) return true;
+        for (const RefExtent& e : ref) {
+          if (start >= e.start && start + pages <= e.start + e.pages) {
+            return true;
+          }
+        }
+        return false;
+      };
+      for (int step = 0; step < 2000; ++step) {
+        int64_t op = rng.UniformInt(0, 9);
+        if (op < 7) {
+          // Small coordinate space forces overlaps, exact-fit evictions
+          // and oversized inserts.
+          PageCount start = rng.UniformInt(0, 49);
+          PageCount pages = rng.UniformInt(0, capacity + 6);
+          cache.Insert(start, pages);
+          if (capacity > 0 && pages > 0) {
+            if (pages > capacity) {
+              start += pages - capacity;
+              pages = capacity;
+            }
+            while (ref_pages() + pages > capacity && !ref.empty()) {
+              ref.pop_front();
+            }
+            ref.push_back(RefExtent{start, pages});
+          }
+        } else if (op < 8) {
+          cache.Invalidate();
+          ref.clear();
+        }
+        // Probe: random ranges plus the exact live extents.
+        for (int probe = 0; probe < 4; ++probe) {
+          PageCount start = rng.UniformInt(0, 55);
+          PageCount pages = rng.UniformInt(0, 12);
+          ASSERT_EQ(cache.Contains(start, pages), ref_contains(start, pages))
+              << "seed " << seed << " cap " << capacity << " step " << step
+              << " range [" << start << ", " << start + pages << ")";
+        }
+        for (const RefExtent& e : ref) {
+          ASSERT_TRUE(cache.Contains(e.start, e.pages));
+        }
+        ASSERT_EQ(cache.cached_pages(), ref_pages());
+        ASSERT_LE(cache.cached_pages(), capacity);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -5,6 +5,12 @@
 // changed — which the optimization PRs promise never to do. If a future
 // PR intends a behavioural change, re-record the constants and say so in
 // the commit message.
+//
+// Two grids are pinned: the Section 5.1 baseline (single class, the
+// original PR-4 constants) and the Section 5.6 multiclass workload
+// (two classes — the dimension the per-class policies arbitrate). Every
+// policy family has at least one row, so a perf round that breaks only
+// one policy's decision path still trips a constant.
 
 #include <gtest/gtest.h>
 
@@ -16,6 +22,9 @@ namespace {
 
 struct Golden {
   const char* policy;
+  /// false: BaselineConfig(rate); true: MulticlassConfig(rate) where
+  /// `rate` is the Small-class arrival rate (Medium fixed at 0.065).
+  bool multiclass;
   double rate;
   SimTime horizon;
   int64_t completions;
@@ -23,17 +32,30 @@ struct Golden {
   uint64_t events;
 };
 
-// Recorded at seed 42 on the baseline configuration (Section 5.1).
+// Recorded at seed 42. Baseline rows date from the PR-4 rewrite;
+// multiclass and plugin-policy rows were recorded when the adaptive
+// admission suite landed.
 constexpr Golden kGolden[] = {
-    {"pmm", 0.06, 1800.0, 91, 5, 522220},
-    {"minmax", 0.07, 1800.0, 104, 10, 733801},
-    {"max", 0.05, 1800.0, 72, 1, 266748},
+    {"pmm", false, 0.06, 1800.0, 91, 5, 522220},
+    {"minmax", false, 0.07, 1800.0, 104, 10, 733801},
+    {"max", false, 0.05, 1800.0, 72, 1, 266748},
+    {"edf-shed", false, 0.06, 1800.0, 91, 4, 524187},
+    {"pmm-tick:ms=60000", false, 0.07, 1800.0, 104, 19, 658054},
+    {"pmm", true, 0.8, 1800.0, 1431, 49, 1023319},
+    {"max", true, 0.8, 1800.0, 1429, 55, 687061},
+    {"pmm-class:targets=6,10", true, 0.8, 1800.0, 1429, 66, 1072430},
+    {"pmm-tick:ms=60000", true, 0.8, 1800.0, 1431, 52, 1022989},
+    {"edf-shed", true, 0.8, 1800.0, 1432, 90, 1131151},
 };
 
 TEST(GoldenTrajectory, ShortRunsMatchPreRewriteConstants) {
   for (const Golden& g : kGolden) {
-    SCOPED_TRACE(g.policy);
-    auto sys = Rtdbs::Create(harness::BaselineConfig(g.rate, {g.policy}, 42));
+    SCOPED_TRACE(std::string(g.policy) +
+                 (g.multiclass ? " (multiclass)" : " (baseline)"));
+    SystemConfig config =
+        g.multiclass ? harness::MulticlassConfig(g.rate, {g.policy}, 42)
+                     : harness::BaselineConfig(g.rate, {g.policy}, 42);
+    auto sys = Rtdbs::Create(config);
     ASSERT_TRUE(sys.ok());
     sys.value()->RunUntil(g.horizon);
     SystemSummary s = sys.value()->Summarize();

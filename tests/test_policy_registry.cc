@@ -36,7 +36,8 @@ TEST(PolicySpec, RejectsMalformedNames) {
 TEST(PolicyRegistry, BuiltinsAreRegistered) {
   auto& registry = PolicyRegistry::Global();
   for (const char* name :
-       {"max", "minmax", "prop", "pmm", "pmm-fair", "none", "oracle-ed"}) {
+       {"max", "minmax", "prop", "pmm", "pmm-fair", "none", "oracle-ed",
+        "pmm-class", "edf-shed", "pmm-tick"}) {
     EXPECT_TRUE(registry.Contains(name)) << name;
   }
 }
@@ -62,7 +63,12 @@ TEST(PolicyRegistry, MalformedArgsAreStatusErrors) {
         "pmm:5", "pmm-fair:x=1", "pmm-fair:w=", "pmm-fair:w=1,zero",
         "pmm-fair:w=0,1", "pmm-fair:w=nan,1", "pmm-fair:w=inf", "none:1",
         "oracle-ed:m=0", "oracle-ed:m=1,2", "oracle-ed:m=nan",
-        "oracle-ed:w=2"}) {
+        "oracle-ed:w=2", "pmm-class:targets=", "pmm-class:targets=0",
+        "pmm-class:targets=1.5", "pmm-class:targets=6,zero",
+        "pmm-class:targets=inf", "pmm-class:targets=1e19",
+        "pmm-class:w=1", "edf-shed:m=0", "edf-shed:m=1,2", "edf-shed:m=nan",
+        "edf-shed:x=2", "pmm-tick:ms=", "pmm-tick:ms=-1", "pmm-tick:ms=abc",
+        "pmm-tick:s=5"}) {
     auto policy = PolicyRegistry::Global().Create(bad);
     EXPECT_FALSE(policy.ok()) << bad;
     EXPECT_EQ(policy.status().code(), StatusCode::kInvalidArgument) << bad;
@@ -84,7 +90,9 @@ TEST(PolicyRegistry, DescribeRoundTrips) {
   for (const char* spec :
        {"max", "max:strict", "minmax", "minmax:5", "prop", "prop:10", "pmm",
         "pmm-fair:w=1,2", "pmm-fair:w=0.5,2.5", "none", "oracle-ed",
-        "oracle-ed:m=1.5"}) {
+        "oracle-ed:m=1.5", "pmm-class", "pmm-class:targets=6,10",
+        "edf-shed", "edf-shed:m=1.5", "pmm-tick:ms=0",
+        "pmm-tick:ms=60000"}) {
     auto policy = PolicyRegistry::Global().Create(spec);
     ASSERT_TRUE(policy.ok()) << spec;
     EXPECT_EQ(policy.value()->Describe(), spec) << spec;
@@ -205,6 +213,46 @@ TEST(PluginPolicies, OracleNeverSpendsOnInfeasibleQueries) {
   // A margin so large that no query ever looks feasible: the oracle
   // admits nothing and every query ages out at its deadline.
   auto sys = engine::Rtdbs::Create(ShimConfig({"oracle-ed:m=1000"}));
+  ASSERT_TRUE(sys.ok());
+  sys.value()->RunUntil(1800.0);
+  engine::SystemSummary s = sys.value()->Summarize();
+  EXPECT_GT(s.overall.misses, 0);
+  EXPECT_EQ(s.overall.completions, s.overall.misses);
+  EXPECT_DOUBLE_EQ(s.avg_mpl, 0.0);
+}
+
+TEST(PluginPolicies, PmmClassWithoutTargetsDegeneratesToPmm) {
+  // No quotas installed: the wrapper strategy is bypassed entirely, so
+  // the trajectory is bit-identical to plain PMM.
+  auto config_pmm = harness::MulticlassConfig(0.8, {"pmm"}, 42);
+  auto config_class = harness::MulticlassConfig(0.8, {"pmm-class"}, 42);
+  EXPECT_EQ(Fingerprint(config_pmm), Fingerprint(config_class));
+}
+
+TEST(PluginPolicies, PmmClassQuotaBoundsTheRealizedMpl) {
+  // targets=1,1 admits at most one query per class at a time, so the
+  // time-averaged MPL can never exceed 2 no matter how hard PMM pushes.
+  auto sys = engine::Rtdbs::Create(
+      harness::MulticlassConfig(1.0, {"pmm-class:targets=1,1"}, 42));
+  ASSERT_TRUE(sys.ok());
+  sys.value()->RunUntil(3600.0);
+  engine::SystemSummary s = sys.value()->Summarize();
+  EXPECT_GT(s.overall.completions, 100);
+  EXPECT_LE(s.avg_mpl, 2.0 + 1e-9);
+}
+
+TEST(PluginPolicies, PmmClassRejectsTargetCountMismatch) {
+  // Baseline has one class; two targets must fail at system build time.
+  auto sys = engine::Rtdbs::Create(
+      harness::BaselineConfig(0.06, {"pmm-class:targets=6,10"}));
+  ASSERT_FALSE(sys.ok());
+  EXPECT_EQ(sys.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PluginPolicies, EdfShedNeverSpendsOnInfeasibleQueries) {
+  // A margin so large that nothing ever looks feasible: every query is
+  // shed and ages out at its deadline, exactly like the oracle bound.
+  auto sys = engine::Rtdbs::Create(ShimConfig({"edf-shed:m=1000"}));
   ASSERT_TRUE(sys.ok());
   sys.value()->RunUntil(1800.0);
   engine::SystemSummary s = sys.value()->Summarize();
