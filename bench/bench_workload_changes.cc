@@ -6,13 +6,16 @@
 // PMM) and Figure 15 (PMM's MPL trace across the alternation), and
 // reports how many workload changes PMM's detector flagged.
 //
-// The three policies are independent systems, so they run as three pool
-// jobs with a custom body that interleaves RunUntil with Source
-// activation flips and stashes the per-interval window summaries.
+// The alternation itself is the scenario engine's "mixshift" generator —
+// a scripted per-class rate schedule that reproduces the old hand-rolled
+// Activate/Deactivate flips draw-for-draw (pinned by
+// tests/test_scenario_equivalence.cc) — so the job body is one plain run
+// plus per-interval window summaries.
 
 #include <chrono>
 
 #include "bench_util.h"
+#include "workload/trace.h"
 
 namespace {
 
@@ -32,6 +35,9 @@ int main() {
 
   const int intervals = 6;
   const double interval_s = harness::ExperimentDuration() / 2.5;
+  const std::string scenario =
+      "mixshift:interval=" + workload::FormatDouble(interval_s) +
+      ",intervals=" + std::to_string(intervals);
 
   auto policies =
       harness::PoliciesOrDefault({{"max"}, {"minmax"}, {"pmm"}});
@@ -46,16 +52,14 @@ int main() {
 
   std::vector<harness::RunSpec> specs;
   for (size_t p = 0; p < policies.size(); ++p) {
-    specs.push_back({names[p],
-                     harness::WorkloadChangeConfig(
-                         policies[p], /*medium_active=*/true,
-                         /*small_active=*/false)});
+    specs.push_back({names[p], harness::ScenarioConfig(scenario, policies[p]),
+                     intervals * interval_s});
   }
 
   // Each job writes only its own slot, so no synchronization is needed.
   std::vector<std::vector<IntervalResult>> all(specs.size());
 
-  auto run_alternating = [&](const harness::RunSpec& spec, size_t index) {
+  auto run_scenario = [&](const harness::RunSpec& spec, size_t index) {
     harness::RunResult result;
     result.label = spec.label;
     result.config = spec.config;
@@ -64,24 +68,13 @@ int main() {
     RTQ_CHECK_MSG(sys.ok(), sys.status().ToString().c_str());
     engine::Rtdbs& rtdbs = *sys.value();
 
+    rtdbs.RunUntil(spec.duration);
     for (int i = 0; i < intervals; ++i) {
-      bool medium = i % 2 == 0;
-      if (i > 0) {
-        if (medium) {
-          rtdbs.source().Deactivate(1);
-          rtdbs.source().Activate(0);
-        } else {
-          rtdbs.source().Deactivate(0);
-          rtdbs.source().Activate(1);
-        }
-      }
-      double from = i * interval_s;
-      double to = (i + 1) * interval_s;
-      rtdbs.RunUntil(to);
       IntervalResult r;
-      r.medium = medium;
+      r.medium = i % 2 == 0;
       r.summary = engine::MetricsCollector::WindowSummary(
-          rtdbs.metrics().records(), from, to, /*query_class=*/-1);
+          rtdbs.metrics().records(), i * interval_s, (i + 1) * interval_s,
+          /*query_class=*/-1);
       all[index].push_back(r);
     }
 
@@ -95,7 +88,7 @@ int main() {
 
   auto start = Now();
   std::vector<harness::RunResult> results =
-      harness::RunPool(specs, harness::BenchJobs(), run_alternating);
+      harness::RunPool(specs, harness::BenchJobs(), run_scenario);
   double wall = SecondsSince(start);
 
   std::vector<std::string> interval_columns{"interval", "class"};
@@ -106,6 +99,7 @@ int main() {
   harness::BenchJsonEmitter json("workload_changes");
   json.AddConfig("intervals", std::to_string(intervals));
   json.AddConfig("interval_hours", F(interval_s / 3600.0, 2));
+  json.AddConfig("scenario", scenario);
 
   for (size_t p = 0; p < specs.size(); ++p) {
     for (int i = 0; i < intervals; ++i) {

@@ -8,6 +8,8 @@
 #include "common/rng.h"
 #include "core/policy_registry.h"
 #include "core/strategy.h"
+#include "workload/scenario.h"
+#include "workload/trace_source.h"
 
 namespace rtq::engine {
 
@@ -221,16 +223,54 @@ Status Rtdbs::Init() {
   host.tick_interval = config_.mpl_sample_interval;
   RTQ_RETURN_IF_ERROR(policy_->Attach(host));
 
-  source_ = std::make_unique<workload::Source>(
-      &sim_, db_.get(), config_.workload, config_.exec, config_.disk,
-      config_.mips, std::move(source_rng),
+  // Arrival source: trace replay > scenario > plain Poisson. All three
+  // feed the same sink; the source_rng fork happens above regardless, so
+  // swapping sources never perturbs the placement stream.
+  workload::ArrivalSource::Sink sink =
       [this](exec::QueryDescriptor desc,
              std::unique_ptr<exec::Operator> op) {
         OnArrival(std::move(desc), std::move(op));
-      });
+      };
+  if (config_.trace != nullptr) {
+    auto src = workload::TraceSource::Create(
+        &sim_, db_.get(), config_.workload, config_.exec, config_.disk,
+        config_.mips, config_.trace, std::move(sink));
+    if (!src.ok()) return src.status();
+    source_ = std::move(src).value();
+  } else if (config_.scenario.enabled()) {
+    source_ = std::make_unique<workload::ScenarioSource>(
+        &sim_, db_.get(), config_.workload, config_.scenario, config_.exec,
+        config_.disk, config_.mips, std::move(source_rng), std::move(sink));
+  } else {
+    source_ = std::make_unique<workload::Source>(
+        &sim_, db_.get(), config_.workload, config_.exec, config_.disk,
+        config_.mips, std::move(source_rng), std::move(sink));
+  }
 
   metrics_.UpdateMpl(0.0, 0);
   return Status::Ok();
+}
+
+StatusOr<workload::Trace> RenderScenarioTrace(const SystemConfig& config,
+                                              SimTime horizon) {
+  RTQ_RETURN_IF_ERROR(config.Validate());
+  if (!config.scenario.enabled())
+    return Status::InvalidArgument(
+        "RenderScenarioTrace: config has no scenario");
+  // Mirror Init's fork order exactly: master -> placement -> source.
+  Rng master(config.seed);
+  Rng placement_rng = master.Fork();
+  Rng source_rng = master.Fork();
+  auto db = storage::Database::Create(config.database, config.disk,
+                                      &placement_rng);
+  if (!db.ok()) return db.status();
+  Status st = config.workload.Validate(db.value());
+  if (!st.ok()) return st;
+  workload::Trace trace = workload::RenderTrace(
+      config.scenario, config.workload, db.value(), config.exec, config.disk,
+      config.mips, std::move(source_rng), horizon);
+  trace.seed = config.seed;
+  return trace;
 }
 
 void Rtdbs::RunUntil(SimTime until) {

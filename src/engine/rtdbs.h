@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "buffer/buffer_pool.h"
+#include "common/check.h"
 #include "common/status.h"
 #include "core/memory_manager.h"
 #include "core/memory_policy.h"
@@ -55,7 +56,18 @@ class Rtdbs {
 
   // --- component access (experiments, tests) ----------------------------
   sim::Simulator& simulator() { return sim_; }
-  workload::Source& source() { return *source_; }
+  /// The arrival source, whichever kind the config selected (Poisson
+  /// Source, ScenarioSource, or TraceSource).
+  workload::ArrivalSource& arrivals() { return *source_; }
+  /// The plain Poisson Source; CHECK-fails when the config selected a
+  /// scenario or trace source (those have no Activate/Deactivate).
+  workload::Source& source() {
+    auto* s = dynamic_cast<workload::Source*>(source_.get());
+    RTQ_CHECK_MSG(s != nullptr,
+                  "source() requires the Poisson Source (config has a "
+                  "scenario or trace)");
+    return *s;
+  }
   core::MemoryManager& memory_manager() { return *mm_; }
   const storage::Database& database() const { return *db_; }
   const MetricsCollector& metrics() const { return metrics_; }
@@ -118,7 +130,7 @@ class Rtdbs {
   std::unique_ptr<core::MemoryManager> mm_;
   std::unique_ptr<core::MemoryPolicy> policy_;
   std::unique_ptr<ProbeImpl> probe_;
-  std::unique_ptr<workload::Source> source_;
+  std::unique_ptr<workload::ArrivalSource> source_;
   MetricsCollector metrics_;
 
   std::unordered_map<QueryId, std::unique_ptr<QueryRuntime>> runtimes_;
@@ -126,6 +138,13 @@ class Rtdbs {
   std::vector<std::unique_ptr<QueryRuntime>> retired_;
   bool started_ = false;
 };
+
+/// Renders config.scenario to a `.rtqt` trace with the exact Rng fork
+/// order Rtdbs::Init uses (master -> placement -> source), so replaying
+/// the result via config.trace reproduces the live scenario run
+/// bit-identically — the determinism gate the replay tests pin.
+StatusOr<workload::Trace> RenderScenarioTrace(const SystemConfig& config,
+                                              SimTime horizon);
 
 }  // namespace rtq::engine
 

@@ -59,6 +59,13 @@ Status SystemConfig::Validate() const {
     Status s = database.Validate(disk);
     if (!s.ok()) return s;
   }
+  if (trace != nullptr && scenario.enabled())
+    return Status::InvalidArgument(
+        "config sets both a trace and a scenario; pick one arrival source");
+  if (scenario.enabled()) {
+    Status s = scenario.Validate(workload);
+    if (!s.ok()) return s;
+  }
   {
     // The policy spec must parse and name a registered factory; class- or
     // probe-dependent checks run later, in MemoryPolicy::Attach.

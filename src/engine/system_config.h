@@ -7,6 +7,7 @@
 #ifndef RTQ_ENGINE_SYSTEM_CONFIG_H_
 #define RTQ_ENGINE_SYSTEM_CONFIG_H_
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,6 +18,8 @@
 #include "exec/cost_model.h"
 #include "model/disk_geometry.h"
 #include "storage/database.h"
+#include "workload/scenario.h"
+#include "workload/trace.h"
 #include "workload/workload_spec.h"
 
 namespace rtq::engine {
@@ -79,6 +82,14 @@ struct SystemConfig {
   exec::ExecParams exec;
   storage::DatabaseSpec database;
   workload::WorkloadSpec workload;
+  /// Optional scenario: when enabled(), arrivals come from a
+  /// ScenarioSource driving `scenario`'s per-class arrival shapes instead
+  /// of the plain Poisson Source. Mutually exclusive with `trace`.
+  workload::ScenarioSpec scenario;
+  /// Optional trace replay: when set, arrivals replay this `.rtqt` trace
+  /// through a TraceSource (no randomness consumed). Mutually exclusive
+  /// with `scenario`.
+  std::shared_ptr<const workload::Trace> trace;
   core::PmmParams pmm;
   PolicyConfig policy;
   uint64_t seed = 42;

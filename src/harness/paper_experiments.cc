@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "core/policy_registry.h"
+#include "workload/scenario_registry.h"
 
 namespace rtq::harness {
 
@@ -137,6 +138,18 @@ engine::SystemConfig WorkloadChangeConfig(const engine::PolicyConfig& policy,
   workload::QueryClassSpec small = JoinClass(2, 3, 2.8);
   small.initially_active = small_active;
   config.workload.classes = {medium, small};
+  return config;
+}
+
+engine::SystemConfig ScenarioConfig(const std::string& scenario_spec,
+                                    const engine::PolicyConfig& policy,
+                                    uint64_t seed) {
+  engine::SystemConfig config =
+      WorkloadChangeConfig(policy, /*medium_active=*/true,
+                           /*small_active=*/true, seed);
+  auto scenario = workload::ScenarioRegistry::Global().Create(scenario_spec);
+  RTQ_CHECK_MSG(scenario.ok(), scenario.status().ToString().c_str());
+  config.scenario = std::move(scenario).value();
   return config;
 }
 

@@ -66,6 +66,16 @@ engine::SystemConfig WorkloadChangeConfig(const engine::PolicyConfig& policy,
                                           bool small_active,
                                           uint64_t seed = 42);
 
+/// Scenario-engine runs: the Section 5.3 two-class system (Table 8's
+/// Medium + Small joins on 6 disks) with the Poisson processes replaced
+/// by `scenario_spec`'s per-class arrival shapes, resolved through the
+/// workload::ScenarioRegistry ("diurnal", "flash:mult=12", ...).
+/// CHECK-fails on a malformed or unknown spec — bench drivers validate
+/// their specs up front.
+engine::SystemConfig ScenarioConfig(const std::string& scenario_spec,
+                                    const engine::PolicyConfig& policy,
+                                    uint64_t seed = 42);
+
 /// Section 5.5: external-sort workload, ||R|| in [600,1800], baseline
 /// resources (10 disks).
 engine::SystemConfig ExternalSortConfig(double arrival_rate,

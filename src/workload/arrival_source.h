@@ -1,0 +1,40 @@
+// The abstract arrival stream feeding the engine (paper Figure 2's
+// Source box, generalized).
+//
+// Three implementations exist: the classic Poisson Source
+// (workload/source.h), the live scenario generator
+// (workload/scenario.h) for non-stationary shapes, and the
+// deterministic trace replayer (workload/trace_source.h). The engine
+// only sees this interface: Start() begins scheduling arrival events on
+// the simulator, and every constructed (descriptor, operator) pair is
+// handed over through the Sink callback.
+
+#ifndef RTQ_WORKLOAD_ARRIVAL_SOURCE_H_
+#define RTQ_WORKLOAD_ARRIVAL_SOURCE_H_
+
+#include <functional>
+#include <memory>
+
+#include "exec/operator.h"
+#include "exec/query.h"
+
+namespace rtq::workload {
+
+class ArrivalSource {
+ public:
+  using Sink = std::function<void(exec::QueryDescriptor,
+                                  std::unique_ptr<exec::Operator>)>;
+
+  virtual ~ArrivalSource() = default;
+
+  /// Begins generating arrivals. Must be called at most once, before the
+  /// simulation runs.
+  virtual void Start() = 0;
+
+  /// Number of queries emitted so far.
+  virtual int64_t generated() const = 0;
+};
+
+}  // namespace rtq::workload
+
+#endif  // RTQ_WORKLOAD_ARRIVAL_SOURCE_H_

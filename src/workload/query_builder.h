@@ -1,0 +1,84 @@
+// The shared arrival-construction path.
+//
+// Every arrival — live Poisson (source.h), live scenario generation
+// (scenario.h), or trace replay (trace_source.h) — goes through the same
+// two steps so that the three paths are behaviourally interchangeable:
+//
+//   1. DrawBlueprint consumes the class's selection Rng (slack ratio
+//      first, then the operand relation picks — the draw order the
+//      original Source used, which the golden-trajectory tests pin) and
+//      produces a QueryBlueprint: the fully-resolved, randomness-free
+//      description of one arrival.
+//   2. BuildQuery turns a blueprint into the (QueryDescriptor, Operator)
+//      pair the engine consumes, recomputing the stand-alone estimate
+//      from the operand relations unless the blueprint carries one.
+//
+// A blueprint is exactly what one `.rtqt` trace record stores, so
+// generation and replay are bit-identical by construction.
+
+#ifndef RTQ_WORKLOAD_QUERY_BUILDER_H_
+#define RTQ_WORKLOAD_QUERY_BUILDER_H_
+
+#include <limits>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "exec/cost_model.h"
+#include "exec/operator.h"
+#include "exec/query.h"
+#include "model/disk_geometry.h"
+#include "storage/database.h"
+#include "workload/workload_spec.h"
+
+namespace rtq::workload {
+
+/// How DrawBlueprint picks operand relations from a relation group.
+struct SelectionSpec {
+  /// false: uniform over the group (the paper's model). true: a bounded
+  /// Pareto(alpha) draw mapped onto the group's relations sorted by size
+  /// ascending — mostly the small relations, with a heavy tail of the
+  /// large ones ("Pareto-tailed operand sizes").
+  bool pareto = false;
+  double alpha = 1.5;
+};
+
+/// One fully-resolved arrival: no randomness left, ready to build.
+struct QueryBlueprint {
+  SimTime time = 0.0;
+  int32_t query_class = -1;
+  exec::QueryType type = exec::QueryType::kHashJoin;
+  /// Operand relations: r is the inner/build (or sort) relation, already
+  /// resolved to the smaller of the two picks for joins; s is the
+  /// outer/probe relation (-1 for sorts).
+  storage::RelationId r = -1;
+  storage::RelationId s = -1;
+  double slack = 1.0;
+  /// Stand-alone time; NaN means "recompute from the relations" (the
+  /// recomputation is a pure function, so stored and recomputed values
+  /// agree for any trace this code generated).
+  double standalone = std::numeric_limits<double>::quiet_NaN();
+};
+
+struct BuiltQuery {
+  exec::QueryDescriptor desc;
+  std::unique_ptr<exec::Operator> op;
+};
+
+/// Draws one arrival for `cls` at time `now`, consuming `selection` in
+/// the canonical order (slack, then relation picks).
+QueryBlueprint DrawBlueprint(const QueryClassSpec& cls, int32_t query_class,
+                             SimTime now, const storage::Database& db,
+                             Rng* selection,
+                             const SelectionSpec& sel = SelectionSpec{});
+
+/// Materializes the (descriptor, operator) pair for a blueprint. `id` is
+/// the engine-wide sequential query id.
+BuiltQuery BuildQuery(const QueryBlueprint& blueprint, QueryId id,
+                      const storage::Database& db,
+                      const exec::ExecParams& exec_params,
+                      const model::DiskParams& disk_params, double mips);
+
+}  // namespace rtq::workload
+
+#endif  // RTQ_WORKLOAD_QUERY_BUILDER_H_

@@ -1,0 +1,141 @@
+#include "workload/scenario_registry.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "common/check.h"
+
+namespace rtq::workload {
+
+namespace {
+
+bool IsNameStart(char c) { return c >= 'a' && c <= 'z'; }
+
+bool IsNameChar(char c) {
+  return IsNameStart(c) || (c >= '0' && c <= '9') || c == '-';
+}
+
+bool IsValidName(const std::string& name) {
+  if (name.empty() || !IsNameStart(name[0])) return false;
+  for (char c : name) {
+    if (!IsNameChar(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<ScenarioArgs> ScenarioArgs::Parse(const std::string& args) {
+  ScenarioArgs out;
+  size_t pos = 0;
+  while (pos < args.size()) {
+    size_t comma = args.find(',', pos);
+    std::string pair = args.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0)
+      return Status::InvalidArgument("scenario args: expected k=v, got '" +
+                                     pair + "'");
+    std::string key = pair.substr(0, eq);
+    std::string value = pair.substr(eq + 1);
+    char* end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size() ||
+        !std::isfinite(v))
+      return Status::InvalidArgument("scenario args: bad value for '" + key +
+                                     "': '" + value + "'");
+    if (!out.values_.emplace(key, v).second)
+      return Status::InvalidArgument("scenario args: duplicate key '" + key +
+                                     "'");
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+double ScenarioArgs::Take(const std::string& key, double fallback) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  double v = it->second;
+  values_.erase(it);
+  return v;
+}
+
+Status ScenarioArgs::Finish() const {
+  if (values_.empty()) return Status::Ok();
+  return Status::InvalidArgument("scenario args: unknown key '" +
+                                 values_.begin()->first + "'");
+}
+
+ScenarioRegistry& ScenarioRegistry::Global() {
+  static auto* registry = new ScenarioRegistry();
+  return *registry;
+}
+
+Status ScenarioRegistry::Register(const std::string& name, std::string help,
+                                  Factory factory) {
+  if (!IsValidName(name))
+    return Status::InvalidArgument("invalid scenario name '" + name + "'");
+  if (factory == nullptr)
+    return Status::InvalidArgument("null factory for scenario '" + name + "'");
+  auto [it, inserted] =
+      entries_.emplace(name, Entry{std::move(help), std::move(factory)});
+  (void)it;
+  if (!inserted)
+    return Status::InvalidArgument("duplicate scenario name '" + name + "'");
+  return Status::Ok();
+}
+
+bool ScenarioRegistry::Contains(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+StatusOr<ScenarioSpec> ScenarioRegistry::Create(
+    const std::string& spec) const {
+  size_t colon = spec.find(':');
+  std::string name = spec.substr(0, colon);
+  std::string args_text =
+      colon == std::string::npos ? std::string() : spec.substr(colon + 1);
+  if (!IsValidName(name))
+    return Status::InvalidArgument("malformed scenario spec '" + spec +
+                                   "': expected name[:k=v,...] with name "
+                                   "matching [a-z][a-z0-9-]*");
+  auto it = entries_.find(name);
+  if (it == entries_.end())
+    return Status::NotFound("unknown scenario '" + name +
+                            "'; known:\n" + Help());
+  StatusOr<ScenarioArgs> args = ScenarioArgs::Parse(args_text);
+  if (!args.ok()) {
+    return Status::InvalidArgument("scenario '" + name +
+                                   "': " + args.status().message());
+  }
+  return it->second.factory(std::move(args).value());
+}
+
+std::vector<std::string> ScenarioRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    (void)entry;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string ScenarioRegistry::Help() const {
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    out += "  " + name + " — " + entry.help + "\n";
+  }
+  return out;
+}
+
+ScenarioRegistrar::ScenarioRegistrar(const std::string& name, std::string help,
+                                     ScenarioRegistry::Factory factory) {
+  Status st = ScenarioRegistry::Global().Register(name, std::move(help),
+                                                  std::move(factory));
+  RTQ_CHECK_MSG(st.ok(), "scenario registration failed");
+}
+
+}  // namespace rtq::workload

@@ -1,0 +1,100 @@
+// String-keyed registry of scenario generators + the spec grammar.
+//
+// A scenario generator is named by a spec string, mirroring the policy
+// registry's grammar:
+//
+//   spec  := name [":" args]
+//   name  := [a-z][a-z0-9-]*        (registry key, e.g. "diurnal")
+//   args  := k=v ["," k=v]*         (double-valued parameters)
+//
+// Examples: "diurnal", "flash:mult=12,at=600", "mixshift:intervals=6".
+// Every factory resolves defaults and writes the fully-parameterized
+// canonical spec into ScenarioSpec::name, so Create(Create(s).name)
+// round-trips to the identical scenario. Factories self-register from
+// their own translation units via RTQ_REGISTER_SCENARIO (the built-in
+// catalog lives in scenario_catalog.cc). Malformed specs, unknown names
+// and unknown parameter keys surface as Status errors, never crashes.
+
+#ifndef RTQ_WORKLOAD_SCENARIO_REGISTRY_H_
+#define RTQ_WORKLOAD_SCENARIO_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/scenario.h"
+
+namespace rtq::workload {
+
+/// The parsed "k=v,k=v" argument list of a scenario spec. Factories
+/// Take() the keys they understand (with defaults) and call Finish(),
+/// which rejects any key left over — typos fail loudly.
+class ScenarioArgs {
+ public:
+  static StatusOr<ScenarioArgs> Parse(const std::string& args);
+
+  /// Consumes `key`, returning its value or `fallback` when absent.
+  double Take(const std::string& key, double fallback);
+
+  /// Ok iff every parsed key was consumed.
+  Status Finish() const;
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+class ScenarioRegistry {
+ public:
+  /// Builds the scenario for one parsed argument list. The factory sets
+  /// ScenarioSpec::name to the canonical fully-parameterized spec.
+  using Factory = std::function<StatusOr<ScenarioSpec>(ScenarioArgs)>;
+
+  /// The process-wide registry all spec strings resolve against.
+  static ScenarioRegistry& Global();
+
+  /// Registers `factory` under `name` with a one-line usage note. Fails
+  /// on duplicate or ill-formed names.
+  Status Register(const std::string& name, std::string help, Factory factory);
+
+  bool Contains(const std::string& name) const;
+
+  /// Parses `spec` ("name[:k=v,...]") and invokes the named factory.
+  StatusOr<ScenarioSpec> Create(const std::string& spec) const;
+
+  /// Registered names in deterministic (lexicographic) order.
+  std::vector<std::string> Names() const;
+
+  /// One "name — help" line per registered generator, in Names() order.
+  std::string Help() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    Factory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Self-registration hook: construct one at namespace scope in the
+/// generator's translation unit (see RTQ_REGISTER_SCENARIO).
+class ScenarioRegistrar {
+ public:
+  ScenarioRegistrar(const std::string& name, std::string help,
+                    ScenarioRegistry::Factory factory);
+};
+
+#define RTQ_SCENARIO_CONCAT_INNER(a, b) a##b
+#define RTQ_SCENARIO_CONCAT(a, b) RTQ_SCENARIO_CONCAT_INNER(a, b)
+
+/// Registers `factory` (a ScenarioRegistry::Factory expression) under
+/// `name` when the enclosing translation unit is linked in.
+#define RTQ_REGISTER_SCENARIO(name, help, factory)                 \
+  static const ::rtq::workload::ScenarioRegistrar RTQ_SCENARIO_CONCAT( \
+      rtq_scenario_registrar_, __COUNTER__)(name, help, factory)
+
+}  // namespace rtq::workload
+
+#endif  // RTQ_WORKLOAD_SCENARIO_REGISTRY_H_

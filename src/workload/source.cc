@@ -3,9 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
-#include "exec/external_sort.h"
-#include "exec/hash_join.h"
-#include "exec/standalone.h"
+#include "workload/query_builder.h"
 
 namespace rtq::workload {
 
@@ -79,71 +77,14 @@ void Source::ScheduleNextArrival(int32_t query_class) {
   });
 }
 
-const storage::Relation& Source::PickRelation(int32_t group, Rng* rng) {
-  const std::vector<storage::RelationId>& ids = db_->RelationsInGroup(group);
-  int64_t idx = rng->UniformInt(0, static_cast<int64_t>(ids.size()) - 1);
-  return db_->relation(ids[static_cast<size_t>(idx)]);
-}
-
 void Source::EmitQuery(int32_t query_class) {
-  const QueryClassSpec& cls = spec_.classes[query_class];
   ClassState& state = class_state_[query_class];
-
-  exec::QueryDescriptor desc;
-  desc.id = next_id_++;
-  desc.query_class = query_class;
-  desc.type = cls.type;
-  desc.arrival = sim_->Now();
-  desc.slack_ratio =
-      state.selection.Uniform(cls.slack_min, cls.slack_max);
-
-  std::unique_ptr<exec::Operator> op;
-  exec::StandaloneEstimate est;
-
-  if (cls.type == exec::QueryType::kHashJoin) {
-    const storage::Relation& a =
-        PickRelation(cls.rel_groups[0], &state.selection);
-    const storage::Relation& b =
-        PickRelation(cls.rel_groups[1], &state.selection);
-    // The smaller relation is the inner (building) relation R.
-    const storage::Relation& r = a.pages <= b.pages ? a : b;
-    const storage::Relation& s = a.pages <= b.pages ? b : a;
-    desc.r_relation = r.id;
-    desc.s_relation = s.id;
-    desc.operand_pages = r.pages + s.pages;
-
-    exec::HashJoin::Inputs inputs;
-    inputs.r_disk = r.disk;
-    inputs.r_start = r.start_page;
-    inputs.r_pages = r.pages;
-    inputs.s_disk = s.disk;
-    inputs.s_start = s.start_page;
-    inputs.s_pages = s.pages;
-    op = std::make_unique<exec::HashJoin>(exec_params_, inputs);
-    est = exec::EstimateHashJoin(exec_params_, disk_params_, mips_, r.pages,
-                                 s.pages);
-  } else {
-    const storage::Relation& r =
-        PickRelation(cls.rel_groups[0], &state.selection);
-    desc.r_relation = r.id;
-    desc.operand_pages = r.pages;
-
-    exec::ExternalSort::Inputs inputs;
-    inputs.disk = r.disk;
-    inputs.start = r.start_page;
-    inputs.pages = r.pages;
-    op = std::make_unique<exec::ExternalSort>(exec_params_, inputs);
-    est = exec::EstimateExternalSort(exec_params_, disk_params_, mips_,
-                                     r.pages);
-  }
-
-  desc.standalone_time = est.total();
-  desc.operand_io_requests = est.io_requests;
-  desc.deadline = desc.arrival + desc.standalone_time * desc.slack_ratio;
-  desc.max_memory = op->max_memory();
-  desc.min_memory = op->min_memory();
-
-  sink_(desc, std::move(op));
+  QueryBlueprint bp =
+      DrawBlueprint(spec_.classes[query_class], query_class, sim_->Now(),
+                    *db_, &state.selection);
+  BuiltQuery built = BuildQuery(bp, next_id_++, *db_, exec_params_,
+                                disk_params_, mips_);
+  sink_(built.desc, std::move(built.op));
 }
 
 }  // namespace rtq::workload

@@ -14,7 +14,6 @@
 #ifndef RTQ_WORKLOAD_SOURCE_H_
 #define RTQ_WORKLOAD_SOURCE_H_
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -25,35 +24,34 @@
 #include "exec/query.h"
 #include "sim/simulator.h"
 #include "storage/database.h"
+#include "workload/arrival_source.h"
 #include "workload/workload_spec.h"
 
 namespace rtq::workload {
 
-class Source {
+class Source : public ArrivalSource {
  public:
-  using Sink = std::function<void(exec::QueryDescriptor,
-                                  std::unique_ptr<exec::Operator>)>;
-
   Source(sim::Simulator* sim, const storage::Database* db,
          const WorkloadSpec& spec, const exec::ExecParams& exec_params,
          const model::DiskParams& disk_params, double mips, Rng rng,
          Sink sink);
 
   /// Begins generating arrivals for all initially-active classes.
-  void Start();
+  void Start() override;
 
   /// Enables / disables a class's arrival process at run time.
   void Activate(int32_t query_class);
   void Deactivate(int32_t query_class);
   bool active(int32_t query_class) const;
 
-  int64_t generated() const { return next_id_; }
+  int64_t generated() const override {
+    return static_cast<int64_t>(next_id_);
+  }
   const WorkloadSpec& spec() const { return spec_; }
 
  private:
   void ScheduleNextArrival(int32_t query_class);
   void EmitQuery(int32_t query_class);
-  const storage::Relation& PickRelation(int32_t group, Rng* rng);
 
   sim::Simulator* sim_;
   const storage::Database* db_;

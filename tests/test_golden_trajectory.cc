@@ -48,6 +48,46 @@ constexpr Golden kGolden[] = {
     {"edf-shed", true, 0.8, 1800.0, 1432, 90, 1131151},
 };
 
+// Scenario-engine rows: one per generator shape, under PMM and under
+// the no-management baseline. The specs compress each shape's time
+// parameters so its distinctive feature (rate peak, flash crowd, burst,
+// alternation) fires inside the 1800 s horizon.
+struct ScenarioGolden {
+  const char* scenario;
+  const char* policy;
+  int64_t completions;
+  int64_t misses;
+  uint64_t events;
+};
+
+// Recorded at seed 42 when the scenario engine landed.
+constexpr ScenarioGolden kScenarioGolden[] = {
+    {"diurnal:period=1200", "pmm", 958, 107, 666854},
+    {"diurnal:period=1200", "none", 958, 752, 406578},
+    {"flash:at=600,dur=300,decay=150", "pmm", 2530, 1268, 820509},
+    {"flash:at=600,dur=300,decay=150", "none", 2531, 2123, 467741},
+    {"pareto", "pmm", 109, 0, 210262},
+    {"pareto", "none", 109, 0, 208200},
+    {"burst:tlo=300,thi=150", "pmm", 2150, 652, 784734},
+    {"burst:tlo=300,thi=150", "none", 2151, 1639, 502166},
+    {"mixshift:interval=600", "pmm", 1640, 586, 620493},
+    {"mixshift:interval=600", "none", 1641, 793, 613926},
+};
+
+TEST(GoldenTrajectory, ScenarioRunsMatchRecordedConstants) {
+  for (const ScenarioGolden& g : kScenarioGolden) {
+    SCOPED_TRACE(std::string(g.scenario) + " | " + g.policy);
+    SystemConfig config = harness::ScenarioConfig(g.scenario, {g.policy}, 42);
+    auto sys = Rtdbs::Create(config);
+    ASSERT_TRUE(sys.ok());
+    sys.value()->RunUntil(1800.0);
+    SystemSummary s = sys.value()->Summarize();
+    EXPECT_EQ(s.overall.completions, g.completions);
+    EXPECT_EQ(s.overall.misses, g.misses);
+    EXPECT_EQ(s.events_dispatched, g.events);
+  }
+}
+
 TEST(GoldenTrajectory, ShortRunsMatchPreRewriteConstants) {
   for (const Golden& g : kGolden) {
     SCOPED_TRACE(std::string(g.policy) +
