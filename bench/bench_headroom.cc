@@ -1,9 +1,10 @@
 // Headroom study: how much missed-deadline ratio is left on the table
 // between the adaptive policies and the clairvoyant "oracle-ed" bound?
 //
-// Sweeps the admission suite — PMM, the per-class quota variant
-// (pmm-class), feasibility-shedding EDF (edf-shed), wall-clock-batched
-// PMM (pmm-tick) — plus the oracle across two Section 5 workload grids:
+// Sweeps the admission suite — PMM, the forecasting variant
+// (pmm-predict), the per-class quota variant (pmm-class),
+// feasibility-shedding EDF (edf-shed), wall-clock-batched PMM
+// (pmm-tick) — plus the oracle across two Section 5 workload grids:
 //
 //   base — the Section 5.1 memory-bottlenecked baseline, arrival rate
 //          0.04..0.08 q/s (Figure 3's x-axis);
@@ -16,10 +17,11 @@
 // policy's miss ratio and its "gap_to_oracle" — miss ratio minus
 // oracle-ed's at the same workload point. The gap is SIGNED: oracle-ed
 // is clairvoyant about information (it reads the exact cost-model
-// estimate deadline assignment used) but crude in discipline
-// (all-or-nothing Max grants, and no credit for work already done — a
-// nearly-finished query loses its memory the moment its remaining time
-// dips under the full estimate), so a positive gap is headroom an
+// estimate deadline assignment used, progress-credited via
+// core::RemainingEstimate so finished work is never re-charged) but
+// crude in discipline (all-or-nothing Max grants in deadline order —
+// no graceful degradation through the min/max range), so a positive
+// gap is headroom an
 // adaptive policy could still close while a negative gap means the
 // policy already beats the clairvoyant filter. RTQ_POLICIES overrides the
 // policy list of BOTH grids (pick specs valid for one and two classes,
@@ -62,12 +64,14 @@ int main() {
       {"base",
        {0.04, 0.05, 0.06, 0.07, 0.08},
        harness::PoliciesOrDefault({{"pmm"},
+                                   {"pmm-predict"},
                                    {"edf-shed"},
                                    {"pmm-tick:ms=60000"},
                                    {"oracle-ed"}})},
       {"mc",
        {0.2, 0.6, 1.0, 1.2},
        harness::PoliciesOrDefault({{"pmm"},
+                                   {"pmm-predict"},
                                    {"pmm-class:targets=6,10"},
                                    {"edf-shed"},
                                    {"pmm-tick:ms=60000"},

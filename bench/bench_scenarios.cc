@@ -6,12 +6,36 @@
 //
 // Every shape's time parameters scale with ExperimentDuration() so its
 // features (burst, rate peak, alternation) land inside the horizon at
-// any RTQ_SIM_HOURS. Also renders the diurnal scenario to
+// any RTQ_SIM_HOURS; the tick cadence scales the same way so the
+// time-driven policies (pmm-predict, select) get a full forecasting
+// window even at smoke durations. Per point the JSON trajectory also
+// records gap_to_oracle — miss ratio minus the clairvoyant oracle-ed
+// lane's on the same shape (omitted when RTQ_POLICIES drops the
+// oracle). Also renders the diurnal scenario to
 // results/sample_diurnal.rtqt — the replayable `.rtqt` form of the
 // exact arrival stream the diurnal runs saw.
 
+#include <algorithm>
+#include <cmath>
+
 #include "bench_util.h"
+#include "core/policy_registry.h"
 #include "workload/trace.h"
+
+namespace {
+
+/// Index of the oracle-ed lane in `policies`, or -1 when absent.
+int OracleIndex(const std::vector<rtq::engine::PolicyConfig>& policies) {
+  for (size_t p = 0; p < policies.size(); ++p) {
+    auto spec = rtq::core::PolicySpec::Parse(policies[p].ResolvedSpec());
+    if (spec.ok() && spec.value().name == "oracle-ed") {
+      return static_cast<int>(p);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
 
 int main() {
   using namespace rtq;
@@ -43,21 +67,31 @@ int main() {
       {"mixshift", "mixshift:interval=" + FormatDouble(d / 6.0), 0.07},
   };
 
-  auto policies = harness::PoliciesOrDefault({{"pmm"},
-                                              {"max"},
-                                              {"pmm-tick"},
-                                              {"pmm-class"},
-                                              {"edf-shed"},
-                                              {"oracle-ed"}});
+  auto policies =
+      harness::PoliciesOrDefault({{"pmm"},
+                                  {"pmm-predict"},
+                                  {"select:candidates=pmm+pmm-predict"},
+                                  {"max"},
+                                  {"pmm-tick"},
+                                  {"pmm-class"},
+                                  {"edf-shed"},
+                                  {"oracle-ed"}});
   std::vector<std::string> names;
   for (const auto& policy : policies)
     names.push_back(harness::PolicyLabel(policy));
 
+  // Compress the tick grid with the horizon (60 s at the 1 h+ defaults,
+  // d/60 at smoke) so forecasting windows span the same fraction of the
+  // run at any RTQ_SIM_HOURS.
+  const double tick = std::min(60.0, d / 60.0);
+
   std::vector<harness::RunSpec> specs;
   for (const auto& sc : scenarios) {
     for (size_t p = 0; p < policies.size(); ++p) {
-      specs.push_back({sc.key + "|" + names[p],
-                       harness::ScenarioConfig(sc.spec, policies[p])});
+      engine::SystemConfig config =
+          harness::ScenarioConfig(sc.spec, policies[p]);
+      config.mpl_sample_interval = tick;
+      specs.push_back({sc.key + "|" + names[p], config});
     }
   }
 
@@ -67,21 +101,28 @@ int main() {
 
   harness::TablePrinter table(harness::PolicyColumns("scenario", policies));
   harness::CsvWriter csv({"scenario", "policy", "miss_ratio", "completions",
-                          "avg_mpl", "disk_util"});
+                          "avg_mpl", "disk_util", "gap_to_oracle"});
   harness::BenchJsonEmitter json("scenarios");
   json.AddConfig("scenarios", std::to_string(scenarios.size()));
 
+  const int oracle = OracleIndex(policies);
   size_t at = 0;
   for (const auto& sc : scenarios) {
+    double oracle_miss =
+        oracle >= 0 ? results[at + static_cast<size_t>(oracle)]
+                          .summary.overall.miss_ratio
+                    : std::nan("");
     std::vector<std::string> row{sc.key};
     for (size_t p = 0; p < policies.size(); ++p, ++at) {
       const harness::RunResult& r = results[at];
+      double gap = r.summary.overall.miss_ratio - oracle_miss;
       row.push_back(Pct(r.summary.overall.miss_ratio));
       csv.AddRow({sc.key, names[p], F(r.summary.overall.miss_ratio, 4),
                   std::to_string(r.summary.overall.completions),
                   F(r.summary.avg_mpl, 2),
-                  F(r.summary.avg_disk_utilization, 3)});
-      json.AddResult(r, names[p], sc.lambda);
+                  F(r.summary.avg_disk_utilization, 3),
+                  std::isfinite(gap) ? F(gap, 4) : std::string("")});
+      json.AddResult(r, names[p], sc.lambda, gap);
     }
     table.AddRow(row);
   }

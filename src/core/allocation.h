@@ -24,10 +24,36 @@ struct MemRequest {
   /// maximum allocation (Section 4.1's deadline basis). Lets clairvoyant
   /// policies judge feasibility; 0 when no estimate exists.
   SimTime standalone_estimate = 0.0;
+  /// Total operand pages the query must read (cost-model figure); 0 when
+  /// unknown. Together with `pages_read` this yields a progress fraction.
+  PageCount operand_pages = 0;
+  /// Live pointer into the query's operator counters (pages read so
+  /// far), owned by the engine and valid for as long as the request is
+  /// registered with the MemoryManager. Null when the host tracks no
+  /// progress (hand-built requests in tests): policies must then treat
+  /// the query as having made no progress.
+  const PageCount* pages_read = nullptr;
 };
 
 /// Result: out[i] is the allocation for ed_sorted[i]; 0 = not admitted.
 using AllocationVector = std::vector<PageCount>;
+
+/// Progress-credited remaining-execution estimate: the stand-alone
+/// estimate scaled by the fraction of operand pages not yet read. Work
+/// already done is never re-charged, so a nearly-finished query looks
+/// nearly free — the signal feasibility policies (edf-shed, oracle-ed)
+/// need to avoid revoking memory from queries about to complete. Falls
+/// back to the full stand-alone estimate when no progress signal exists.
+inline SimTime RemainingEstimate(const MemRequest& q) {
+  if (q.pages_read == nullptr || q.operand_pages <= 0) {
+    return q.standalone_estimate;
+  }
+  double done = static_cast<double>(*q.pages_read) /
+                static_cast<double>(q.operand_pages);
+  if (done <= 0.0) return q.standalone_estimate;
+  if (done >= 1.0) return 0.0;
+  return (1.0 - done) * q.standalone_estimate;
+}
 
 }  // namespace rtq::core
 

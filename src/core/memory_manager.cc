@@ -100,6 +100,7 @@ void MemoryManager::Reallocate() {
   do {
     realloc_again_ = false;
     cache_valid_ = false;
+    ++recomputes_;
 
     ed_scratch_.clear();
     key_scratch_.clear();

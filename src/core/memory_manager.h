@@ -63,6 +63,11 @@ class MemoryManager {
   /// Queries registered but currently at zero allocation.
   int64_t waiting_count() const { return live_count() - admitted_count_; }
   int64_t live_count() const { return static_cast<int64_t>(queries_.size()); }
+  /// Full strategy recomputations performed so far. Membership changes
+  /// absorbed by the StableTailHint fast paths do not count — the gap
+  /// between membership changes and recomputes() measures how often a
+  /// strategy's incremental proof actually engages.
+  int64_t recomputes() const { return recomputes_; }
   PageCount allocation_of(QueryId id) const;
 
  private:
@@ -95,6 +100,7 @@ class MemoryManager {
   std::unordered_map<QueryId, EdKey> by_id_;  // O(1) id -> ED position
   PageCount allocated_sum_ = 0;   // invariant: sum of entry.allocation
   int64_t admitted_count_ = 0;    // invariant: #entries with allocation > 0
+  int64_t recomputes_ = 0;
   bool reallocating_ = false;     // guards against re-entrant reallocation
   bool realloc_again_ = false;
 

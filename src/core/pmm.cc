@@ -76,6 +76,31 @@ void PmmController::Restart() {
   mm_->SetStrategy(MakeMaxStrategy());
 }
 
+void PmmController::ForceTarget(SimTime now, int64_t target) {
+  target = std::clamp<int64_t>(target, 1, params_.max_mpl);
+  if (mode_ == Mode::kMinMax && target == target_mpl_) return;
+  mode_ = Mode::kMinMax;
+  target_mpl_ = target;
+  mm_->SetStrategy(MakeMinMaxStrategy(target_mpl_));
+  TracePoint point;
+  point.time = now;
+  point.mode = mode_;
+  point.target_mpl = target_mpl_;
+  trace_.push_back(point);
+}
+
+void PmmController::ForceMax(SimTime now) {
+  if (mode_ == Mode::kMax) return;
+  mode_ = Mode::kMax;
+  target_mpl_ = -1;
+  mm_->SetStrategy(MakeMaxStrategy());
+  TracePoint point;
+  point.time = now;
+  point.mode = mode_;
+  point.target_mpl = target_mpl_;
+  trace_.push_back(point);
+}
+
 int64_t PmmController::RuHeuristicMpl(double current_mpl,
                                       double current_util) const {
   // Average the utilization-vs-MPL history through a fitted line and read
@@ -215,7 +240,8 @@ void PmmController::Adapt() {
                               ? max_mode_realized_mpl_.mean()
                               : 0.0;
     if (max_mode_realized_mpl_.count() > 0 &&
-        static_cast<double>(new_target) <= max_mode_avg) {
+        static_cast<double>(new_target) <= max_mode_avg &&
+        AllowRevertToMax(readings.now)) {
       mode_ = Mode::kMax;
       target_mpl_ = -1;
       mm_->SetStrategy(MakeMaxStrategy());

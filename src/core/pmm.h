@@ -154,6 +154,29 @@ class PmmController {
   /// Hook for subclasses, called at the end of every batch adaptation.
   virtual void OnBatchAdapted(const TracePoint& point) { (void)point; }
 
+  /// Consulted before the Section 3.2 revert-to-Max test fires; a
+  /// subclass returning false keeps the controller in MinMax mode even
+  /// when the target sinks to Max mode's realized average. Predictive
+  /// controllers use this to hold a proactive clamp through the batch
+  /// adaptations that would otherwise undo it.
+  virtual bool AllowRevertToMax(SimTime now) {
+    (void)now;
+    return true;
+  }
+
+  /// Out-of-band override for subclasses: switches to MinMax mode at
+  /// `target` (clamped to [1, max_mpl]) immediately, without waiting for
+  /// a batch boundary, and records a TracePoint so adaptation traces
+  /// show the intervention. The regular batch machinery keeps running
+  /// and will re-fit from the new operating point.
+  void ForceTarget(SimTime now, int64_t target);
+
+  /// Out-of-band counterpart of ForceTarget: reverts to Max mode
+  /// immediately (no-op when already there), mirroring the Section 3.2
+  /// revert branch, and records a TracePoint. Max-mode statistics keep
+  /// accumulating from the next batch as after a regular revert.
+  void ForceMax(SimTime now);
+
   const PmmParams& params() const { return params_; }
   MemoryManager* memory_manager() { return mm_; }
 

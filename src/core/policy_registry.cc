@@ -110,8 +110,17 @@ StatusOr<std::vector<std::string>> ParsePolicyList(const std::string& text) {
     size_t e = segment.find_last_not_of(" \t");
     segment = b == std::string::npos ? "" : segment.substr(b, e - b + 1);
 
-    if (!segment.empty() && !IsNameStart(segment[0]) && !specs.empty()) {
-      // Continuation of the previous spec's arguments ("w=1,2").
+    // A segment continues the previous spec's arguments when it cannot
+    // start a new spec: it opens with a non-name character ("2" in
+    // "w=1,2") or it is a key=value pair with the '=' before any ':'
+    // ("window=10" in "select:candidates=pmm,window=10" — never a valid
+    // spec, since '=' cannot appear in a policy name).
+    bool key_value_continuation =
+        segment.find('=') != std::string::npos &&
+        segment.find('=') < segment.find(':');
+    if (!segment.empty() &&
+        (!IsNameStart(segment[0]) || key_value_continuation) &&
+        !specs.empty()) {
       specs.back() += "," + segment;
     } else if (!segment.empty()) {
       specs.push_back(segment);

@@ -56,9 +56,11 @@ std::string FormatSpecDoubleList(const std::vector<double>& values);
 
 /// Splits a policy *list* ("pmm,none" / "minmax:5,pmm-fair:w=1,2,max")
 /// into individual specs. Commas separate specs, except that a segment
-/// which does not start a new name (i.e. starts with a digit, '.', '-'
-/// or '+') is folded into the previous spec's arguments — this is what
-/// lets "pmm-fair:w=1,2" survive inside a comma-separated list.
+/// which cannot start a new spec is folded into the previous spec's
+/// arguments: one that opens with a digit, '.', '-' or '+' (the "2" of
+/// "pmm-fair:w=1,2"), or a key=value segment whose '=' precedes any ':'
+/// (the "window=10" of "select:candidates=pmm,window=10" — '=' can
+/// never appear in a policy name).
 StatusOr<std::vector<std::string>> ParsePolicyList(const std::string& text);
 
 class PolicyRegistry {

@@ -317,6 +317,11 @@ void Rtdbs::OnArrival(exec::QueryDescriptor desc,
   // at whatever the pool can give (its operator adapts), never at "max".
   req.max_memory = std::min(desc.max_memory, config_.memory_pages);
   req.standalone_estimate = desc.standalone_time;
+  req.operand_pages = desc.operand_pages;
+  // Live progress signal for feasibility policies. The counters live in
+  // the operator, whose QueryRuntime outlives the mm_ registration:
+  // FinishQuery parks the runtime in retired_ before RemoveQuery runs.
+  req.pages_read = &it->second->op->counters().pages_read;
   mm_->AddQuery(req);
   UpdateMplSignal();
 

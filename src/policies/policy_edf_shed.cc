@@ -7,15 +7,27 @@
 // exactly this observation). edf-shed acts on it with the information
 // the system already has: the cost model's stand-alone execution-time
 // estimate (MemRequest::standalone_estimate, the same estimate deadline
-// assignment uses in Section 4.1). Any query whose remaining time to
-// deadline is below `margin * estimate` — i.e. infeasible even at its
-// maximum allocation on an idle machine — is shed: it gets no memory and
-// ages out at its deadline. The survivors share memory in plain EDF
-// order under the MinMax discipline (minimums first, then top-ups to
-// the maximum in deadline order), with no MPL cap.
+// assignment uses in Section 4.1), credited for progress — the estimate
+// is scaled by the fraction of operand pages not yet read
+// (core::RemainingEstimate), so a query that is 90% done only needs 10%
+// of its estimate to remain feasible and is never robbed of memory on
+// the strength of work it already finished. Any query whose remaining
+// time to deadline is below `margin * remaining estimate` — infeasible
+// even at its maximum allocation on an idle machine — is shed: it gets
+// no memory and ages out at its deadline. The survivors share memory in
+// plain EDF order under the MinMax discipline (minimums first, then
+// top-ups to the maximum in deadline order), with no MPL cap.
 //
 //   spec: "edf-shed"           (margin = 1)
 //         "edf-shed:m=1.5"     (require 1.5x the estimate to remain)
+//
+// Feasibility is re-evaluated at reallocation points. When a round shed
+// nobody, the inner MinMax-infinity stable-tail proof is exposed, so
+// denied-tail churn takes PR 4's incremental path without a recompute;
+// membership changes absorbed that way defer the next feasibility check
+// to the next true reallocation — deliberate policy semantics (shedding
+// is lazy in the dead zone), not drift: a deferred-shed query holds no
+// memory either way, and the determinism pins cover the trajectory.
 //
 // Contrast with "oracle-ed" (policy_oracle_ed.cc): the oracle pairs the
 // same feasibility filter with all-or-nothing maximum grants, making it
@@ -38,13 +50,6 @@
 namespace rtq::core {
 namespace {
 
-// Note: this strategy deliberately inherits the default (invalid)
-// StableTailHint from AllocationStrategy, like oracle-ed. Its output
-// depends on the clock — a query feasible at one reallocation can be
-// infeasible (and must be revoked) at the next — so a cached stable-tail
-// proof would let MemoryManager skip recomputes that actually change
-// allocations. Every membership change therefore recomputes in full,
-// which is always correct.
 class EdfShedStrategy : public AllocationStrategy {
  public:
   EdfShedStrategy(std::function<SimTime()> now, double margin)
@@ -54,15 +59,31 @@ class EdfShedStrategy : public AllocationStrategy {
 
   AllocationVector Allocate(const std::vector<MemRequest>& ed_sorted,
                             PageCount total) const override {
+    StableTailHint ignored;
+    return AllocateWithHint(ed_sorted, total, &ignored);
+  }
+
+  // When nothing was shed this round the wrapper was a no-op, so the
+  // inner MinMax-infinity stable-tail proof holds for this input and is
+  // exposed (AllocateThroughFilter invalidates it whenever anything was
+  // filtered). A request absorbed by that proof receives nothing — the
+  // same outcome whether the next true reallocation finds it feasible
+  // (denied tail) or sheds it — so the fast path only defers *when* the
+  // clock-dependent filter is next consulted, never what anyone holds.
+  // See the header comment for why that laziness is the policy's
+  // defined semantics.
+  AllocationVector AllocateWithHint(const std::vector<MemRequest>& ed_sorted,
+                                    PageCount total,
+                                    StableTailHint* hint) const override {
     SimTime now = now_();
-    StableTailHint discarded;  // time-dependent: never exposed (above)
     return AllocateThroughFilter(
         inner_, ed_sorted, total,
         [this, now](const MemRequest& q) {
-          // Shed queries that are infeasible even at max allocation.
-          return q.deadline - now >= margin_ * q.standalone_estimate;
+          // Shed queries infeasible even at max allocation, crediting
+          // the work they already completed.
+          return q.deadline - now >= margin_ * RemainingEstimate(q);
         },
-        &discarded);
+        hint);
   }
 
   std::string name() const override { return "EdfShed"; }

@@ -1,15 +1,21 @@
 // "oracle-ed" — a clairvoyant admission-control upper bound.
 //
 // Reads the cost model's stand-alone execution-time estimate (the same
-// estimate deadline assignment uses, Section 4.1) and admits only
-// queries that can still plausibly finish: a query whose remaining time
-// to deadline is below `margin * estimate` is never given memory, so its
-// pages go to feasible queries instead and it simply ages out at its
-// deadline. Feasible queries receive maximum allocations in
-// Earliest-Deadline order (Max discipline). Because the estimate assumes
-// the maximum allocation and an idle system, this is an optimistic
-// oracle — real policies cannot beat the information it acts on, which
-// is what makes it a useful upper-bound lane in sweeps.
+// estimate deadline assignment uses, Section 4.1), credited for
+// progress — scaled by the fraction of operand pages not yet read
+// (core::RemainingEstimate) — and admits only queries that can still
+// plausibly finish: a query whose remaining time to deadline is below
+// `margin * remaining estimate` is never given memory, so its pages go
+// to feasible queries instead and it simply ages out at its deadline.
+// The progress credit keeps the denominator honest: a nearly-finished
+// query needs only its residual work to remain feasible, so the oracle
+// no longer revokes memory from queries about to complete (the blind
+// spot the PR 5 headroom study documented). Feasible queries receive
+// maximum allocations in Earliest-Deadline order (Max discipline).
+// Because the estimate assumes the maximum allocation and an idle
+// system, this is an optimistic oracle — real policies cannot beat the
+// information it acts on, which is what makes it a useful upper-bound
+// lane in sweeps.
 //
 //   spec: "oracle-ed"            (margin = 1)
 //         "oracle-ed:m=1.5"      (require 1.5x the estimate to remain)
@@ -41,8 +47,8 @@ class OracleEdStrategy : public AllocationStrategy {
     PageCount remaining = total;
     for (size_t i = 0; i < ed_sorted.size(); ++i) {
       const MemRequest& q = ed_sorted[i];
-      if (q.deadline - now < margin_ * q.standalone_estimate) {
-        continue;  // cannot finish: spend nothing on it
+      if (q.deadline - now < margin_ * RemainingEstimate(q)) {
+        continue;  // cannot finish its residual work: spend nothing
       }
       if (q.max_memory <= remaining) {
         out[i] = q.max_memory;

@@ -1,0 +1,262 @@
+// "select" — online policy selection: a UCB bandit over registered
+// policy specs, hot-swapping the whole strategy stack from OnTick.
+//
+// No admission policy wins every workload (the scenario sweeps show pmm,
+// pmm-predict, and edf-shed trading places by shape), and a production
+// system cannot rerun the sweep before choosing. select treats the
+// registered policy specs as bandit arms: it runs one candidate at a
+// time, scores each evaluation window by its realized miss ratio
+// (reward = 1 - window miss ratio, counted from OnQueryEvent — the
+// shared SystemProbe is never touched), and picks the next arm by the
+// UCB1 rule: untried arms first in spec order, then
+//
+//   argmax  mean_reward(arm) + sqrt(2 ln(epochs) / pulls(arm))
+//
+// with ties broken toward the earlier spec — fully deterministic, no
+// RNG. Switching arms builds a *fresh* policy from the registry and
+// re-Attaches it (each policy sees Attach exactly once, per the
+// MemoryPolicy contract), installing its strategy mid-run; the PR 5
+// tick-probe test pins that strategy swaps from OnTick are safe.
+//
+//   spec: "select"                               (candidates=pmm)
+//         "select:candidates=pmm,pmm-predict"    (commas fold per the
+//                                                 policy-list grammar)
+//         "select:candidates=pmm+pmm-predict,window=10"
+//
+// The canonical form joins candidates with '+' so the whole spec
+// survives inside a comma-separated RTQ_POLICIES list. `window` is the
+// evaluation epoch in ticks (default 5). With a single candidate the
+// bandit never runs and the trajectory is bit-identical to the
+// candidate bare — the degenerate case the zero-drift gate pins.
+// Registers from its own translation unit: no edits under src/engine/.
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "core/memory_policy.h"
+#include "core/policy_registry.h"
+
+namespace rtq::core {
+namespace {
+
+constexpr int64_t kDefaultWindow = 5;
+
+class SelectPolicy : public MemoryPolicy {
+ public:
+  SelectPolicy(std::vector<std::string> candidates,
+               std::vector<std::string> display_names, int64_t window)
+      : candidates_(std::move(candidates)),
+        display_names_(std::move(display_names)),
+        window_(window),
+        pulls_(candidates_.size(), 0),
+        reward_sum_(candidates_.size(), 0.0) {}
+
+  Status Attach(const PolicyHost& host) override {
+    if (candidates_.size() > 1 && host.tick_interval <= 0.0) {
+      // The bandit only advances on ticks; without them the first arm
+      // would run forever and the "selection" would be a lie.
+      return Status::FailedPrecondition(
+          "select with multiple candidates needs a host that ticks "
+          "(mpl_sample_interval > 0)");
+    }
+    host_ = host;
+    return SwapTo(0);
+  }
+
+  void OnQueryEvent(const QueryEvent& event) override {
+    if (event.kind == QueryEvent::Kind::kCompletion) {
+      ++completions_;
+      if (event.info.missed) ++misses_;
+    }
+    active_->OnQueryEvent(event);
+  }
+
+  void OnTick(SimTime now) override {
+    active_->OnTick(now);
+    if (candidates_.size() < 2) return;  // degenerate: nothing to select
+    if (++ticks_in_epoch_ < window_) return;
+
+    // Close the epoch: credit the active arm with 1 - miss ratio. An
+    // epoch with no completions is unscored evidence-free time; count
+    // the pull (so the rotation advances) but score it neutrally high,
+    // matching "no misses observed".
+    double reward =
+        completions_ > 0
+            ? 1.0 - static_cast<double>(misses_) /
+                        static_cast<double>(completions_)
+            : 1.0;
+    ++pulls_[active_index_];
+    reward_sum_[active_index_] += reward;
+    ++epochs_;
+    ticks_in_epoch_ = 0;
+    completions_ = misses_ = 0;
+
+    size_t next = PickArm();
+    if (next != active_index_) {
+      Status st = SwapTo(next);
+      // Every candidate already attached once (untried arms are visited
+      // first), so a later re-attach cannot newly fail.
+      RTQ_CHECK_MSG(st.ok(), st.ToString().c_str());
+    }
+  }
+
+  std::string Describe() const override {
+    std::string joined;
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      if (i > 0) joined += "+";
+      joined += candidates_[i];
+    }
+    return "select:candidates=" + joined +
+           ",window=" + std::to_string(window_);
+  }
+
+  std::string DisplayName() const override {
+    std::string joined;
+    for (size_t i = 0; i < display_names_.size(); ++i) {
+      if (i > 0) joined += "+";
+      joined += display_names_[i];
+    }
+    return "Select(" + joined + ")";
+  }
+
+  const PmmController* pmm_controller() const override {
+    return active_ ? active_->pmm_controller() : nullptr;
+  }
+
+ private:
+  /// UCB1 with untried-arms-first in spec order; deterministic
+  /// lowest-index tie-break.
+  size_t PickArm() const {
+    for (size_t i = 0; i < pulls_.size(); ++i) {
+      if (pulls_[i] == 0) return i;
+    }
+    size_t best = 0;
+    double best_score = -1.0;
+    for (size_t i = 0; i < pulls_.size(); ++i) {
+      double mean = reward_sum_[i] / static_cast<double>(pulls_[i]);
+      double bonus = std::sqrt(2.0 * std::log(static_cast<double>(epochs_)) /
+                               static_cast<double>(pulls_[i]));
+      double score = mean + bonus;
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  Status SwapTo(size_t index) {
+    auto policy = PolicyRegistry::Global().Create(candidates_[index]);
+    if (!policy.ok()) return policy.status();
+    RTQ_RETURN_IF_ERROR(policy.value()->Attach(host_));
+    active_ = std::move(policy).value();
+    active_index_ = index;
+    return Status::Ok();
+  }
+
+  std::vector<std::string> candidates_;  // canonical specs
+  std::vector<std::string> display_names_;
+  int64_t window_;
+
+  PolicyHost host_;
+  std::unique_ptr<MemoryPolicy> active_;
+  size_t active_index_ = 0;
+
+  std::vector<int64_t> pulls_;
+  std::vector<double> reward_sum_;
+  int64_t epochs_ = 0;
+  int64_t ticks_in_epoch_ = 0;
+  int64_t completions_ = 0;
+  int64_t misses_ = 0;
+};
+
+StatusOr<std::unique_ptr<MemoryPolicy>> MakeSelectPolicy(
+    const PolicySpec& spec) {
+  std::string candidates_arg = "pmm";
+  int64_t window = kDefaultWindow;
+  if (!spec.args.empty()) {
+    // Key segments are "candidates=..." / "window=..."; any other
+    // segment is part of the current value (candidate specs themselves
+    // contain commas: "pmm-class:targets=6,10").
+    std::string* current = nullptr;
+    bool have_candidates = false;
+    std::string window_arg;
+    size_t pos = 0;
+    while (pos <= spec.args.size()) {
+      size_t comma = spec.args.find(',', pos);
+      std::string piece = spec.args.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      if (piece.rfind("candidates=", 0) == 0) {
+        candidates_arg = piece.substr(11);
+        have_candidates = true;
+        current = &candidates_arg;
+      } else if (piece.rfind("window=", 0) == 0) {
+        window_arg = piece.substr(7);
+        current = &window_arg;
+      } else if (current != nullptr) {
+        *current += "," + piece;
+      } else {
+        return Status::InvalidArgument(
+            "select: expected candidates=... or window=..., got '" + piece +
+            "'");
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (have_candidates && candidates_arg.empty()) {
+      return Status::InvalidArgument("select: candidates list is empty");
+    }
+    if (!window_arg.empty()) {
+      auto parsed = ParseSpecInt(window_arg);
+      if (!parsed.ok()) return parsed.status();
+      if (parsed.value() < 1) {
+        return Status::InvalidArgument("select: window must be >= 1 tick");
+      }
+      window = parsed.value();
+    }
+  }
+
+  // Candidates: '+'-separated groups, each group itself a policy list
+  // (so both the canonical '+' form and the comma form parse).
+  std::vector<std::string> raw_specs;
+  size_t pos = 0;
+  while (pos <= candidates_arg.size()) {
+    size_t plus = candidates_arg.find('+', pos);
+    std::string group = candidates_arg.substr(
+        pos, plus == std::string::npos ? std::string::npos : plus - pos);
+    auto specs = ParsePolicyList(group);
+    if (!specs.ok()) return specs.status();
+    for (auto& s : specs.value()) raw_specs.push_back(std::move(s));
+    if (plus == std::string::npos) break;
+    pos = plus + 1;
+  }
+
+  // Canonicalize and validate each candidate by building it once.
+  std::vector<std::string> canonical;
+  std::vector<std::string> display_names;
+  for (const std::string& raw : raw_specs) {
+    auto parsed = PolicySpec::Parse(raw);
+    if (!parsed.ok()) return parsed.status();
+    if (parsed.value().name == "select") {
+      return Status::InvalidArgument("select: candidates cannot nest select");
+    }
+    auto candidate = PolicyRegistry::Global().Create(raw);
+    if (!candidate.ok()) return candidate.status();
+    canonical.push_back(candidate.value()->Describe());
+    display_names.push_back(candidate.value()->DisplayName());
+  }
+  return std::unique_ptr<MemoryPolicy>(new SelectPolicy(
+      std::move(canonical), std::move(display_names), window));
+}
+
+RTQ_REGISTER_POLICY("select",
+                    "select[:candidates=s1+s2+...,window=N] — UCB bandit "
+                    "over policy specs, re-selected every N ticks",
+                    MakeSelectPolicy);
+
+}  // namespace
+}  // namespace rtq::core

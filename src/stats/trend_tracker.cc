@@ -1,0 +1,64 @@
+#include "stats/trend_tracker.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "stats/linear_fit.h"
+#include "stats/quadratic_fit.h"
+
+namespace rtq::stats {
+
+TrendTracker::TrendTracker(int64_t window) : window_(window) {
+  RTQ_CHECK_MSG(window >= 3, "TrendTracker window must be >= 3");
+}
+
+void TrendTracker::Add(double t, double value) {
+  samples_.emplace_back(t, value);
+  while (static_cast<int64_t>(samples_.size()) > window_) {
+    samples_.pop_front();
+  }
+}
+
+void TrendTracker::Reset() { samples_.clear(); }
+
+Forecast TrendTracker::Predict(double t) const {
+  Forecast f;
+  if (samples_.size() < 3) return f;
+
+  double t0 = 0.0;
+  for (const auto& [st, sv] : samples_) t0 += st;
+  t0 /= static_cast<double>(samples_.size());
+
+  LinearFit line;
+  for (const auto& [st, sv] : samples_) line.Add(st - t0, sv);
+  if (!line.CanFit()) return f;  // all samples share one timestamp
+
+  f.valid = true;
+  f.slope = line.slope();
+  f.value = line.ValueAt(t - t0);
+  f.current = line.ValueAt(samples_.back().first - t0);
+
+  double mean = 0.0;
+  for (const auto& [st, sv] : samples_) mean += sv;
+  mean /= static_cast<double>(samples_.size());
+  double sse = 0.0, sst = 0.0;
+  for (const auto& [st, sv] : samples_) {
+    double residual = sv - line.ValueAt(st - t0);
+    sse += residual * residual;
+    sst += (sv - mean) * (sv - mean);
+  }
+  // Zero variance = a flat series the line explains exactly; its slope
+  // is ~0 so a confident forecast of "no change" is the honest answer.
+  f.confidence = sst <= 1e-12 ? 1.0 : std::clamp(1.0 - sse / sst, 0.0, 1.0);
+
+  QuadraticFit quad;
+  for (const auto& [st, sv] : samples_) quad.Add(st - t0, sv);
+  if (quad.Fit()) {
+    f.quad_valid = true;
+    f.quad_value = quad.ValueAt(t - t0);
+    f.curvature = quad.a();
+  }
+  return f;
+}
+
+}  // namespace rtq::stats

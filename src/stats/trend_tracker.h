@@ -1,0 +1,75 @@
+// Windowed trend fitting with confidence gating.
+//
+// The incremental fits (linear_fit.h, quadratic_fit.h) accumulate over
+// their whole lifetime — the right shape for PMM's batch projections,
+// the wrong one for forecasting a non-stationary signal, where only the
+// recent past predicts the near future. TrendTracker keeps the last
+// `window` samples of a time series, refits both a line and a parabola
+// over that window on demand, and reports an extrapolation together
+// with a confidence score (the linear fit's R^2) so callers can gate
+// actions on trend quality: a clean ramp forecasts confidently, pure
+// noise does not, and a flat series forecasts "no change" — never a
+// spurious move.
+//
+// Predict() centers time on the window mean before fitting, so absolute
+// simulation timestamps (10^4 s and beyond) cost no precision.
+
+#ifndef RTQ_STATS_TREND_TRACKER_H_
+#define RTQ_STATS_TREND_TRACKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+namespace rtq::stats {
+
+/// The result of extrapolating a windowed trend to a future time.
+struct Forecast {
+  /// False until the window holds >= 3 samples spanning distinct times.
+  bool valid = false;
+  /// Linear extrapolation at the requested time.
+  double value = 0.0;
+  /// The fitted line evaluated at the newest sample's time — the
+  /// denoised "current" level, the natural denominator for a
+  /// forecast/current ratio.
+  double current = 0.0;
+  /// Slope of the fitted line (signal units per time unit).
+  double slope = 0.0;
+  /// R^2 of the linear fit over the window, clamped to [0, 1]. A flat
+  /// series (zero variance) counts as perfectly explained: 1.
+  double confidence = 0.0;
+  /// Quadratic refinement over the same window, when the parabola's
+  /// normal equations are solvable (>= 3 distinct times).
+  bool quad_valid = false;
+  double quad_value = 0.0;
+  /// Leading coefficient of the parabola; > 0 means the signal is
+  /// accelerating upward within the window.
+  double curvature = 0.0;
+};
+
+class TrendTracker {
+ public:
+  /// `window` = maximum samples retained (>= 3 to ever forecast).
+  explicit TrendTracker(int64_t window);
+
+  /// Appends (t, value); evicts the oldest sample beyond the window.
+  /// Times must be non-decreasing (simulation clocks are).
+  void Add(double t, double value);
+
+  /// Discards all samples.
+  void Reset();
+
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  int64_t window() const { return window_; }
+
+  /// Fits the window and extrapolates to time `t` (see Forecast).
+  Forecast Predict(double t) const;
+
+ private:
+  int64_t window_;
+  std::deque<std::pair<double, double>> samples_;
+};
+
+}  // namespace rtq::stats
+
+#endif  // RTQ_STATS_TREND_TRACKER_H_

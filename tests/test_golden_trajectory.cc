@@ -34,18 +34,27 @@ struct Golden {
 
 // Recorded at seed 42. Baseline rows date from the PR-4 rewrite;
 // multiclass and plugin-policy rows were recorded when the adaptive
-// admission suite landed.
+// admission suite landed. The edf-shed and oracle-ed rows were
+// re-recorded when feasibility became progress-credited
+// (core::RemainingEstimate) — an intended behaviour change that roughly
+// halved their shed-induced misses; the predictive-policy rows date
+// from the same change.
 constexpr Golden kGolden[] = {
     {"pmm", false, 0.06, 1800.0, 91, 5, 522220},
     {"minmax", false, 0.07, 1800.0, 104, 10, 733801},
     {"max", false, 0.05, 1800.0, 72, 1, 266748},
-    {"edf-shed", false, 0.06, 1800.0, 91, 4, 524187},
+    {"edf-shed", false, 0.06, 1800.0, 91, 2, 554367},
+    {"oracle-ed", false, 0.06, 1800.0, 89, 7, 302695},
+    {"pmm-predict", false, 0.06, 1800.0, 91, 5, 522220},
     {"pmm-tick:ms=60000", false, 0.07, 1800.0, 104, 19, 658054},
     {"pmm", true, 0.8, 1800.0, 1431, 49, 1023319},
     {"max", true, 0.8, 1800.0, 1429, 55, 687061},
     {"pmm-class:targets=6,10", true, 0.8, 1800.0, 1429, 66, 1072430},
     {"pmm-tick:ms=60000", true, 0.8, 1800.0, 1431, 52, 1022989},
-    {"edf-shed", true, 0.8, 1800.0, 1432, 90, 1131151},
+    {"edf-shed", true, 0.8, 1800.0, 1431, 49, 1240731},
+    {"pmm-predict", true, 0.8, 1800.0, 1431, 49, 1023319},
+    {"select:candidates=pmm+edf-shed,window=4", true, 0.8, 1800.0, 1431,
+     61, 1003431},
 };
 
 // Scenario-engine rows: one per generator shape, under PMM and under

@@ -37,7 +37,7 @@ TEST(PolicyRegistry, BuiltinsAreRegistered) {
   auto& registry = PolicyRegistry::Global();
   for (const char* name :
        {"max", "minmax", "prop", "pmm", "pmm-fair", "none", "oracle-ed",
-        "pmm-class", "edf-shed", "pmm-tick"}) {
+        "pmm-class", "edf-shed", "pmm-tick", "pmm-predict", "select"}) {
     EXPECT_TRUE(registry.Contains(name)) << name;
   }
 }
@@ -68,7 +68,10 @@ TEST(PolicyRegistry, MalformedArgsAreStatusErrors) {
         "pmm-class:targets=inf", "pmm-class:targets=1e19",
         "pmm-class:w=1", "edf-shed:m=0", "edf-shed:m=1,2", "edf-shed:m=nan",
         "edf-shed:x=2", "pmm-tick:ms=", "pmm-tick:ms=-1", "pmm-tick:ms=abc",
-        "pmm-tick:s=5"}) {
+        "pmm-tick:s=5", "pmm-predict:window=2", "pmm-predict:lead=0",
+        "pmm-predict:band=1.5", "pmm-predict:band=0", "pmm-predict:conf=2",
+        "pmm-predict:x=1", "select:window=0", "select:bogus",
+        "select:candidates=", "select:candidates=pmm+select"}) {
     auto policy = PolicyRegistry::Global().Create(bad);
     EXPECT_FALSE(policy.ok()) << bad;
     EXPECT_EQ(policy.status().code(), StatusCode::kInvalidArgument) << bad;
@@ -92,7 +95,9 @@ TEST(PolicyRegistry, DescribeRoundTrips) {
         "pmm-fair:w=1,2", "pmm-fair:w=0.5,2.5", "none", "oracle-ed",
         "oracle-ed:m=1.5", "pmm-class", "pmm-class:targets=6,10",
         "edf-shed", "edf-shed:m=1.5", "pmm-tick:ms=0",
-        "pmm-tick:ms=60000"}) {
+        "pmm-tick:ms=60000", "pmm-predict",
+        "pmm-predict:window=8,lead=3,band=0.2,conf=0.6",
+        "select:candidates=pmm+pmm-predict,window=4"}) {
     auto policy = PolicyRegistry::Global().Create(spec);
     ASSERT_TRUE(policy.ok()) << spec;
     EXPECT_EQ(policy.value()->Describe(), spec) << spec;
@@ -124,6 +129,32 @@ TEST(ParsePolicyList, SplitsSpecsAndKeepsWeightLists) {
   ASSERT_TRUE(spaced.ok());
   EXPECT_EQ(spaced.value(),
             (std::vector<std::string>{"pmm", "oracle-ed:m=1.5"}));
+}
+
+TEST(ParsePolicyList, KeyValueSegmentsFoldIntoThePreviousSpec) {
+  // A segment that is a bare key=value pair ('=' before any ':')
+  // continues the previous spec — this is what lets a canonical select
+  // spec survive inside a comma-separated RTQ_POLICIES list.
+  auto select = ParsePolicyList(
+      "pmm,select:candidates=pmm+pmm-predict,window=4,none");
+  ASSERT_TRUE(select.ok());
+  EXPECT_EQ(select.value(),
+            (std::vector<std::string>{
+                "pmm", "select:candidates=pmm+pmm-predict,window=4",
+                "none"}));
+
+  auto predict = ParsePolicyList(
+      "pmm-predict:window=8,lead=3,band=0.2,edf-shed:m=1.5");
+  ASSERT_TRUE(predict.ok());
+  EXPECT_EQ(predict.value(),
+            (std::vector<std::string>{"pmm-predict:window=8,lead=3,band=0.2",
+                                      "edf-shed:m=1.5"}));
+
+  // A segment with ':' before '=' is a new spec, not a continuation.
+  auto boundary = ParsePolicyList("pmm,pmm-class:targets=6,10");
+  ASSERT_TRUE(boundary.ok());
+  EXPECT_EQ(boundary.value(),
+            (std::vector<std::string>{"pmm", "pmm-class:targets=6,10"}));
 }
 
 TEST(ParsePolicyList, RejectsGarbage) {

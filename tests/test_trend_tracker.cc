@@ -1,0 +1,148 @@
+// stats::TrendTracker: windowed forecasting on synthetic signals. The
+// confidence gate is the load-bearing part — pmm-predict only acts when
+// a forecast is confident, so these pin exactly when that happens:
+// clean ramps and flats are confident, white noise and fresh steps are
+// not, and the window forgets history at the advertised rate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/trend_tracker.h"
+
+namespace rtq::stats {
+namespace {
+
+TEST(TrendTracker, TooFewSamplesIsInvalid) {
+  TrendTracker t(8);
+  EXPECT_FALSE(t.Predict(10.0).valid);
+  t.Add(0.0, 1.0);
+  t.Add(1.0, 2.0);
+  EXPECT_FALSE(t.Predict(10.0).valid);
+  t.Add(2.0, 3.0);
+  EXPECT_TRUE(t.Predict(10.0).valid);
+}
+
+TEST(TrendTracker, CoincidentTimesAreInvalid) {
+  TrendTracker t(8);
+  t.Add(5.0, 1.0);
+  t.Add(5.0, 2.0);
+  t.Add(5.0, 3.0);
+  EXPECT_FALSE(t.Predict(10.0).valid);
+}
+
+TEST(TrendTracker, CleanRampExtrapolatesExactlyWithFullConfidence) {
+  TrendTracker t(16);
+  for (int i = 0; i < 10; ++i) {
+    t.Add(static_cast<double>(i), 3.0 + 2.0 * static_cast<double>(i));
+  }
+  Forecast f = t.Predict(20.0);
+  ASSERT_TRUE(f.valid);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.value, 43.0, 1e-9);
+  EXPECT_NEAR(f.current, 21.0, 1e-9);  // fitted level at the last sample
+  EXPECT_NEAR(f.confidence, 1.0, 1e-9);
+  // The quadratic refinement agrees on a straight line.
+  ASSERT_TRUE(f.quad_valid);
+  EXPECT_NEAR(f.quad_value, 43.0, 1e-6);
+  EXPECT_NEAR(f.curvature, 0.0, 1e-9);
+}
+
+TEST(TrendTracker, FlatSeriesIsConfidentWithZeroSlope) {
+  TrendTracker t(8);
+  for (int i = 0; i < 8; ++i) t.Add(static_cast<double>(i), 4.5);
+  Forecast f = t.Predict(100.0);
+  ASSERT_TRUE(f.valid);
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.value, 4.5, 1e-9);
+  // Confident "no change": the gate may trust it, the band will not act.
+  EXPECT_DOUBLE_EQ(f.confidence, 1.0);
+}
+
+TEST(TrendTracker, NoiseHasLowConfidence) {
+  TrendTracker t(16);
+  // Deterministic pseudo-noise: alternating around a level with varying
+  // magnitude; no linear trend explains it.
+  double values[] = {5.0, 1.0, 6.0, 0.5, 4.0, 2.0, 7.0, 0.0,
+                     5.5, 1.5, 6.5, 0.2, 4.2, 2.2, 6.8, 0.4};
+  for (int i = 0; i < 16; ++i) t.Add(static_cast<double>(i), values[i]);
+  Forecast f = t.Predict(20.0);
+  ASSERT_TRUE(f.valid);
+  EXPECT_LT(f.confidence, 0.3);
+}
+
+TEST(TrendTracker, FreshStepHasLowConfidenceThenRampGains) {
+  TrendTracker t(12);
+  // A long flat stretch then a sudden step: right after the step the
+  // line fits poorly (the window is bimodal), so a gate at 0.5 stays
+  // closed instead of reacting to one outlier.
+  for (int i = 0; i < 11; ++i) t.Add(static_cast<double>(i), 1.0);
+  t.Add(11.0, 10.0);
+  Forecast after_step = t.Predict(13.0);
+  ASSERT_TRUE(after_step.valid);
+  EXPECT_LT(after_step.confidence, 0.5);
+  // As the new level keeps ramping, confidence recovers.
+  for (int i = 12; i < 20; ++i) {
+    t.Add(static_cast<double>(i), 10.0 + 2.0 * static_cast<double>(i - 11));
+  }
+  Forecast later = t.Predict(21.0);
+  ASSERT_TRUE(later.valid);
+  EXPECT_GT(later.confidence, 0.8);
+  EXPECT_GT(later.slope, 0.0);
+}
+
+TEST(TrendTracker, SinusoidRisingEdgeForecastsUpward) {
+  TrendTracker t(8);
+  // Samples on the rising edge of a sinusoid (the diurnal shape): a
+  // short window sees a confident local upward trend.
+  for (int i = 0; i < 8; ++i) {
+    double x = -1.0 + 0.25 * static_cast<double>(i);  // phase in [-1, 0.75]
+    t.Add(static_cast<double>(i), 5.0 + 4.0 * std::sin(x));
+  }
+  Forecast f = t.Predict(10.0);
+  ASSERT_TRUE(f.valid);
+  EXPECT_GT(f.slope, 0.0);
+  EXPECT_GT(f.confidence, 0.9);
+  EXPECT_GT(f.value, f.current);
+}
+
+TEST(TrendTracker, WindowEvictsOldSamples) {
+  TrendTracker t(4);
+  // Old downward history must be forgotten once four upward samples
+  // fill the window.
+  for (int i = 0; i < 10; ++i) t.Add(static_cast<double>(i), 100.0 - i);
+  EXPECT_EQ(t.count(), 4);
+  for (int i = 10; i < 14; ++i) {
+    t.Add(static_cast<double>(i), static_cast<double>(i));
+  }
+  Forecast f = t.Predict(20.0);
+  ASSERT_TRUE(f.valid);
+  EXPECT_NEAR(f.slope, 1.0, 1e-9);
+  EXPECT_NEAR(f.value, 20.0, 1e-9);
+}
+
+TEST(TrendTracker, QuadraticCapturesAcceleration) {
+  TrendTracker t(12);
+  for (int i = 0; i < 12; ++i) {
+    double x = static_cast<double>(i);
+    t.Add(x, 1.0 + 0.5 * x * x);
+  }
+  Forecast f = t.Predict(15.0);
+  ASSERT_TRUE(f.valid);
+  ASSERT_TRUE(f.quad_valid);
+  EXPECT_NEAR(f.curvature, 0.5, 1e-6);
+  EXPECT_NEAR(f.quad_value, 1.0 + 0.5 * 225.0, 1e-4);
+  // The line undershoots an accelerating signal; the parabola does not.
+  EXPECT_LT(f.value, f.quad_value);
+}
+
+TEST(TrendTracker, ResetClearsTheWindow) {
+  TrendTracker t(8);
+  for (int i = 0; i < 8; ++i) t.Add(static_cast<double>(i), 2.0 * i);
+  t.Reset();
+  EXPECT_EQ(t.count(), 0);
+  EXPECT_FALSE(t.Predict(10.0).valid);
+}
+
+}  // namespace
+}  // namespace rtq::stats
