@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 
@@ -37,6 +38,12 @@ class LruCache {
   void Erase(uint64_t key);
 
   void Clear();
+
+  /// Resident keys in recency order (MRU first) — the snapshot digest's
+  /// view of cache contents, where order matters as much as membership.
+  std::vector<uint64_t> Keys() const {
+    return std::vector<uint64_t>(order_.begin(), order_.end());
+  }
 
   PageCount size() const { return static_cast<PageCount>(map_.size()); }
   PageCount capacity() const { return capacity_; }

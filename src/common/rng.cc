@@ -1,5 +1,7 @@
 #include "common/rng.h"
 
+#include <sstream>
+
 namespace rtq {
 
 double Rng::Exponential(double rate) {
@@ -14,6 +16,23 @@ Rng Rng::Fork() {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return Rng(z ^ (z >> 31));
+}
+
+std::string Rng::StateString() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+Status Rng::SetStateString(const std::string& state) {
+  std::mt19937_64 candidate;
+  std::istringstream in(state);
+  in >> candidate;
+  if (in.fail()) {
+    return Status::InvalidArgument("malformed mt19937_64 state string");
+  }
+  engine_ = candidate;
+  return Status::Ok();
 }
 
 }  // namespace rtq

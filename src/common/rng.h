@@ -11,8 +11,10 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 
 #include "common/check.h"
+#include "common/status.h"
 
 namespace rtq {
 
@@ -41,6 +43,17 @@ class Rng {
   /// Derives an independent child stream; used to hand sub-streams to
   /// components from one master seed.
   Rng Fork();
+
+  /// Serialized engine state: the standard-library textual form of
+  /// std::mt19937_64 (312 state words plus the stream position,
+  /// space-separated). Two Rngs with equal StateString() produce
+  /// identical draw sequences forever — snapshot digests compare these
+  /// strings to prove arrival streams were restored exactly.
+  std::string StateString() const;
+
+  /// Restores the engine from a StateString(). Malformed input returns
+  /// InvalidArgument and leaves the engine untouched.
+  Status SetStateString(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <map>
 #include <utility>
 
 #include "common/check.h"
+#include "common/fnv.h"
 #include "common/rng.h"
 #include "core/policy_registry.h"
 #include "core/strategy.h"
 #include "workload/scenario.h"
+#include "workload/scenario_registry.h"
+#include "workload/trace.h"
 #include "workload/trace_source.h"
 
 namespace rtq::engine {
@@ -182,6 +186,10 @@ Status Rtdbs::Init() {
   Rng master(config_.seed);
   Rng placement_rng = master.Fork();
   Rng source_rng = master.Fork();
+  // The live stream is a third fork: taking it consumes only the master
+  // (discarded below), so placement and source trajectories are
+  // bit-identical to builds that never fork it.
+  live_rng_ = master.Fork();
 
   cpu_ = std::make_unique<model::Cpu>(&sim_, config_.mips);
   disks_.reserve(config_.num_disks);
@@ -214,23 +222,12 @@ Status Rtdbs::Init() {
   if (!policy.ok()) return policy.status();
   policy_ = std::move(policy).value();
 
-  core::PolicyHost host;
-  host.mm = mm_.get();
-  host.probe = probe_.get();
-  host.now = [this] { return sim_.Now(); };
-  host.pmm = config_.pmm;
-  host.num_classes = static_cast<int32_t>(config_.workload.classes.size());
-  host.tick_interval = config_.mpl_sample_interval;
-  RTQ_RETURN_IF_ERROR(policy_->Attach(host));
+  RTQ_RETURN_IF_ERROR(policy_->Attach(MakePolicyHost()));
 
   // Arrival source: trace replay > scenario > plain Poisson. All three
   // feed the same sink; the source_rng fork happens above regardless, so
   // swapping sources never perturbs the placement stream.
-  workload::ArrivalSource::Sink sink =
-      [this](exec::QueryDescriptor desc,
-             std::unique_ptr<exec::Operator> op) {
-        OnArrival(std::move(desc), std::move(op));
-      };
+  workload::ArrivalSource::Sink sink = MakeSink();
   if (config_.trace != nullptr) {
     auto src = workload::TraceSource::Create(
         &sim_, db_.get(), config_.workload, config_.exec, config_.disk,
@@ -273,13 +270,98 @@ StatusOr<workload::Trace> RenderScenarioTrace(const SystemConfig& config,
   return trace;
 }
 
+core::PolicyHost Rtdbs::MakePolicyHost() {
+  core::PolicyHost host;
+  host.mm = mm_.get();
+  host.probe = probe_.get();
+  host.now = [this] { return sim_.Now(); };
+  host.pmm = config_.pmm;
+  host.num_classes = static_cast<int32_t>(config_.workload.classes.size());
+  host.tick_interval = config_.mpl_sample_interval;
+  return host;
+}
+
+workload::ArrivalSource::Sink Rtdbs::MakeSink() {
+  return [this](exec::QueryDescriptor desc,
+                std::unique_ptr<exec::Operator> op) {
+    OnArrival(std::move(desc), std::move(op));
+  };
+}
+
 void Rtdbs::RunUntil(SimTime until) {
-  if (!started_) {
-    started_ = true;
-    source_->Start();
-    ScheduleMplSampler();
-  }
+  Start();
   sim_.RunUntil(until);
+}
+
+void Rtdbs::Start() {
+  if (started_) return;
+  started_ = true;
+  source_->Start();
+  ScheduleMplSampler();
+}
+
+bool Rtdbs::StepEvent() {
+  Start();
+  return sim_.Step();
+}
+
+PolicySwapOutcome Rtdbs::SwapPolicy(const std::string& spec) {
+  PolicySwapOutcome out;
+  auto created = core::PolicyRegistry::Global().Create(spec);
+  if (!created.ok()) {
+    // Stage-1 failure: nothing was touched, the system is bit-identical
+    // to before the call.
+    out.status = created.status();
+    out.active_spec = policy_->Describe();
+    return out;
+  }
+  std::unique_ptr<core::MemoryPolicy> incoming = std::move(created).value();
+  const std::string incumbent_spec = policy_->Describe();
+  Status attach = incoming->Attach(MakePolicyHost());
+  if (!attach.ok()) {
+    // Attach may have steered mm_ before failing, so "keep the incumbent
+    // object" is not safe; rebuild it from its canonical spec and
+    // re-attach, leaving a well-defined (but state-reset) policy. The
+    // incumbent's spec attached once already, so the rebuild cannot fail.
+    auto rebuilt = core::PolicyRegistry::Global().Create(incumbent_spec);
+    RTQ_CHECK_MSG(rebuilt.ok(), "incumbent policy spec no longer parses");
+    retired_policies_.push_back(std::move(policy_));
+    policy_ = std::move(rebuilt).value();
+    Status reattach = policy_->Attach(MakePolicyHost());
+    RTQ_CHECK_MSG(reattach.ok(), "incumbent policy re-attach failed");
+    out.status = attach;
+    out.active_spec = incumbent_spec;
+    out.reattached = true;
+    return out;
+  }
+  retired_policies_.push_back(std::move(policy_));
+  policy_ = std::move(incoming);
+  out.active_spec = policy_->Describe();
+  out.reattached = true;
+  config_.policy.spec = out.active_spec;
+  return out;
+}
+
+StatusOr<std::string> Rtdbs::SwapScenario(const std::string& spec) {
+  auto created = workload::ScenarioRegistry::Global().Create(spec);
+  if (!created.ok()) return created.status();
+  workload::ScenarioSpec scenario = std::move(created).value();
+  RTQ_RETURN_IF_ERROR(scenario.Validate(config_.workload));
+  // All validation passed: from here construction cannot fail. Silence
+  // the old source (its pending events fire as no-ops) and park it so
+  // those events' `this` captures stay valid.
+  source_->Stop();
+  auto first_id = static_cast<QueryId>(source_->generated());
+  retired_sources_.push_back(std::move(source_));
+  auto incoming = std::make_unique<workload::ScenarioSource>(
+      &sim_, db_.get(), config_.workload, scenario, config_.exec,
+      config_.disk, config_.mips, live_rng_.Fork(), MakeSink());
+  incoming->set_first_query_id(first_id);
+  if (started_) incoming->Start();
+  source_ = std::move(incoming);
+  config_.scenario = scenario;
+  config_.trace = nullptr;
+  return scenario.name;
 }
 
 void Rtdbs::ScheduleMplSampler() {
@@ -461,6 +543,103 @@ void Rtdbs::CacheInvalidate(DiskId disk, PageCount start, PageCount pages) {
   for (PageCount p = start; p < start + pages; ++p) {
     cache.Erase(buffer::BufferPool::PageKey(disk, p));
   }
+}
+
+void Rtdbs::AppendStateDigest(std::vector<std::string>* out) const {
+  const SimTime now = sim_.Now();
+  out->push_back("clock " + workload::FormatDouble(now));
+  out->push_back("dispatched " + std::to_string(sim_.events_dispatched()));
+
+  {
+    auto pending = sim_.queue().ExportPending();
+    Fnv1a64 h;
+    for (const auto& [time, seq] : pending) {
+      h.UpdateDouble(time);
+      h.Update64(seq);
+    }
+    out->push_back("pending " + std::to_string(pending.size()) + " " +
+                   std::to_string(h.digest()));
+  }
+
+  // runtimes_ is an unordered map; digest lines must not depend on its
+  // iteration order.
+  std::map<QueryId, const QueryRuntime*> live;
+  for (const auto& [id, rt] : runtimes_) live.emplace(id, rt.get());
+  out->push_back("queries " + std::to_string(live.size()));
+  for (const auto& [id, rt] : live) {
+    out->push_back("query " + std::to_string(id) + " " +
+                   std::to_string(rt->desc.query_class) + " " +
+                   std::to_string(rt->allocation) + " " +
+                   std::to_string(rt->admitted_once ? 1 : 0) + " " +
+                   workload::FormatDouble(rt->first_admit) + " " +
+                   std::to_string(rt->fluctuations) + " " +
+                   std::to_string(rt->op->started() ? 1 : 0) + " " +
+                   std::to_string(rt->op->counters().pages_read) + " " +
+                   std::to_string(rt->op->counters().pages_written));
+  }
+
+  out->push_back("cpu " + std::to_string(cpu_->pending_jobs()) + " " +
+                 std::to_string(cpu_->completed_jobs()) + " " +
+                 std::to_string(cpu_->preemptions()) + " " +
+                 workload::FormatDouble(cpu_->busy_seconds(now)));
+  for (size_t d = 0; d < disks_.size(); ++d) {
+    const model::Disk& disk = *disks_[d];
+    out->push_back("disk " + std::to_string(d) + " " +
+                   std::to_string(disk.head()) + " " +
+                   std::to_string(disk.busy() ? 1 : 0) + " " +
+                   std::to_string(disk.queue_length()) + " " +
+                   workload::FormatDouble(disk.busy_seconds(now)) + " " +
+                   std::to_string(disk.completed_requests()) + " " +
+                   std::to_string(disk.completed_pages()) + " " +
+                   std::to_string(disk.cache_hits()));
+  }
+
+  {
+    const buffer::LruCache& cache = pool_->page_cache();
+    Fnv1a64 h;
+    for (uint64_t key : cache.Keys()) h.Update64(key);
+    out->push_back("cache " + std::to_string(cache.size()) + " " +
+                   std::to_string(h.digest()) + " " +
+                   std::to_string(cache.hits()) + " " +
+                   std::to_string(cache.misses()));
+  }
+
+  out->push_back("mm " + std::to_string(mm_->total_pages()) + " " +
+                 std::to_string(mm_->allocated_pages()) + " " +
+                 std::to_string(mm_->admitted_count()) + " " +
+                 std::to_string(mm_->waiting_count()) + " " +
+                 std::to_string(mm_->recomputes()));
+
+  out->push_back("policy " + policy_->Describe());
+  if (const core::PmmController* p = pmm()) {
+    out->push_back("pmm " + std::to_string(static_cast<int>(p->mode())) +
+                   " " + std::to_string(p->target_mpl()) + " " +
+                   std::to_string(p->adaptations()) + " " +
+                   std::to_string(p->workload_changes_detected()));
+  }
+
+  source_->AppendStateDigest(out);
+
+  {
+    const auto& records = metrics_.records();
+    int64_t misses = 0;
+    Fnv1a64 h;
+    for (const CompletionRecord& r : records) {
+      if (r.info.missed) ++misses;
+      h.Update64(static_cast<uint64_t>(r.info.id));
+      h.Update64(r.info.missed ? 1 : 0);
+      h.UpdateDouble(r.info.finish);
+      h.Update64(static_cast<uint64_t>(r.mem_fluctuations));
+    }
+    out->push_back("metrics " + std::to_string(records.size()) + " " +
+                   std::to_string(misses) + " " +
+                   std::to_string(h.digest()) + " " +
+                   std::to_string(metrics_.mpl_samples().size()) + " " +
+                   workload::FormatDouble(metrics_.MplIntegral(now)));
+  }
+
+  out->push_back("livestream " +
+                 std::to_string(Fnv1a64Hash(live_rng_.StateString())));
 }
 
 SystemSummary Rtdbs::Summarize() const {

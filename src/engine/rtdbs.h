@@ -15,11 +15,13 @@
 #define RTQ_ENGINE_RTDBS_H_
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
 #include "common/check.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "core/memory_manager.h"
 #include "core/memory_policy.h"
@@ -37,6 +39,22 @@
 
 namespace rtq::engine {
 
+/// Outcome of a live policy swap (serve-mode `policy <spec>` command).
+/// When `status` is not OK the requested spec was rejected; `reattached`
+/// then says whether the rollback had to rebuild the incumbent policy
+/// from its Describe() spec — which resets its adaptive state, so a
+/// deterministic replay journal must record the re-application even
+/// though the user-visible swap failed.
+struct PolicySwapOutcome {
+  Status status = Status::Ok();
+  /// Describe() of the policy active after the call (new on success,
+  /// incumbent on failure).
+  std::string active_spec;
+  /// True whenever a fresh policy instance was attached (successful swap
+  /// or rollback) — i.e. whenever adaptive policy state was reset.
+  bool reattached = false;
+};
+
 class Rtdbs {
  public:
   /// Builds the full system; fails on invalid configuration.
@@ -50,6 +68,38 @@ class Rtdbs {
   /// called repeatedly with increasing horizons (the workload-alternation
   /// experiment interleaves Run with Source activation changes).
   void RunUntil(SimTime until);
+
+  /// Starts the arrival stream and periodic samplers without advancing
+  /// the clock. Idempotent; RunUntil and StepEvent call it implicitly.
+  void Start();
+
+  /// Dispatches exactly one pending event (the serve loop's unit of
+  /// progress — snapshot positions count these). Returns false when the
+  /// calendar is empty. Unlike RunUntil, the clock only ever advances to
+  /// event times, never to an arbitrary horizon.
+  bool StepEvent();
+
+  /// Hot-swaps the memory policy to `spec` (resolved through the
+  /// PolicyRegistry) between events. Never CHECK-fails on bad input: a
+  /// spec the registry rejects leaves the system bit-identical to before
+  /// the call (outcome.reattached == false).
+  PolicySwapOutcome SwapPolicy(const std::string& spec);
+
+  /// Swaps the arrival stream to a freshly created scenario source
+  /// (resolved through the ScenarioRegistry) between events. The old
+  /// source is silenced, not cancelled: its pending events fire as
+  /// no-ops, so event counts match a replay exactly. The new source
+  /// forks its rng from the engine's live stream, continues the old
+  /// source's query-id space, and starts its shapes at the swap instant.
+  /// Returns the canonical scenario spec; errors leave state untouched.
+  StatusOr<std::string> SwapScenario(const std::string& spec);
+
+  /// Appends one deterministic line per state dimension (clock, event
+  /// calendar, per-query runtime, CPU/disk/cache, memory manager, policy,
+  /// arrival source, metrics, live rng). Two Rtdbs instances with equal
+  /// digests have bit-identical future trajectories — the invariant the
+  /// snapshot/restore machinery verifies line-by-line.
+  void AppendStateDigest(std::vector<std::string>* out) const;
 
   /// Summary of everything recorded so far.
   SystemSummary Summarize() const;
@@ -105,6 +155,12 @@ class Rtdbs {
   explicit Rtdbs(const SystemConfig& config);
   Status Init();
 
+  /// The host handed to every MemoryPolicy::Attach — Init and SwapPolicy
+  /// must build it identically or swapped-in policies would see a
+  /// different engine than boot-time ones.
+  core::PolicyHost MakePolicyHost();
+  workload::ArrivalSource::Sink MakeSink();
+
   void OnArrival(exec::QueryDescriptor desc,
                  std::unique_ptr<exec::Operator> op);
   void ApplyAllocation(QueryId id, PageCount pages);
@@ -136,6 +192,15 @@ class Rtdbs {
   std::unordered_map<QueryId, std::unique_ptr<QueryRuntime>> runtimes_;
   /// Finished runtimes are parked here (not destroyed mid-callback).
   std::vector<std::unique_ptr<QueryRuntime>> retired_;
+  /// Swapped-out sources and policies are parked, not destroyed: their
+  /// already-scheduled events still hold `this` captures and must fire
+  /// (as no-ops) to keep event counts replay-identical.
+  std::vector<std::unique_ptr<workload::ArrivalSource>> retired_sources_;
+  std::vector<std::unique_ptr<core::MemoryPolicy>> retired_policies_;
+  /// Rng stream for state created after boot (swapped-in sources). The
+  /// third fork off the master seed, taken in Init so that taking it
+  /// does not perturb the placement or source streams.
+  Rng live_rng_{0};
   bool started_ = false;
 };
 

@@ -1,0 +1,133 @@
+#include "harness/args.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace rtq::harness {
+
+std::string EnvString(const char* name, const std::string& fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  return env;
+}
+
+double EnvPositiveDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  double parsed = std::atof(env);
+  return parsed > 0.0 ? parsed : fallback;
+}
+
+int EnvPositiveInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  int parsed = std::atoi(env);
+  return parsed > 0 ? parsed : fallback;
+}
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    Entry entry;
+    std::string name;
+    if (eq == std::string::npos) {
+      name = body;
+    } else {
+      name = body.substr(0, eq);
+      entry.value = body.substr(eq + 1);
+      entry.has_value = true;
+    }
+    if (name.empty()) {
+      errors_.push_back("malformed flag '" + arg + "'");
+      continue;
+    }
+    if (!flags_.emplace(name, std::move(entry)).second) {
+      errors_.push_back("flag --" + name + " given twice");
+    }
+  }
+}
+
+ArgParser::Entry* ArgParser::Find(const std::string& flag) {
+  auto it = flags_.find(flag);
+  if (it == flags_.end()) return nullptr;
+  it->second.consumed = true;
+  return &it->second;
+}
+
+std::string ArgParser::String(const std::string& flag,
+                              const std::string& fallback) {
+  Entry* e = Find(flag);
+  if (e == nullptr) return fallback;
+  if (!e->has_value) {
+    errors_.push_back("--" + flag + " requires a value (--" + flag + "=...)");
+    return fallback;
+  }
+  return e->value;
+}
+
+double ArgParser::Double(const std::string& flag, double fallback) {
+  Entry* e = Find(flag);
+  if (e == nullptr) return fallback;
+  if (!e->has_value) {
+    errors_.push_back("--" + flag + " requires a numeric value");
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(e->value.c_str(), &end);
+  if (errno != 0 || end == e->value.c_str() || *end != '\0') {
+    errors_.push_back("--" + flag + "=" + e->value + ": not a number");
+    return fallback;
+  }
+  return parsed;
+}
+
+int64_t ArgParser::Int(const std::string& flag, int64_t fallback) {
+  Entry* e = Find(flag);
+  if (e == nullptr) return fallback;
+  if (!e->has_value) {
+    errors_.push_back("--" + flag + " requires an integer value");
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long parsed = std::strtoll(e->value.c_str(), &end, 10);
+  if (errno != 0 || end == e->value.c_str() || *end != '\0') {
+    errors_.push_back("--" + flag + "=" + e->value + ": not an integer");
+    return fallback;
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+bool ArgParser::Bool(const std::string& flag) {
+  Entry* e = Find(flag);
+  if (e == nullptr) return false;
+  if (!e->has_value) return true;
+  if (e->value == "true" || e->value == "1") return true;
+  if (e->value == "false" || e->value == "0") return false;
+  errors_.push_back("--" + flag + "=" + e->value +
+                    ": expected true/false/1/0");
+  return false;
+}
+
+Status ArgParser::Finish() const {
+  std::vector<std::string> problems = errors_;
+  for (const auto& [name, entry] : flags_) {
+    if (!entry.consumed) problems.push_back("unknown flag --" + name);
+  }
+  if (problems.empty()) return Status::Ok();
+  std::string joined;
+  for (const std::string& p : problems) {
+    if (!joined.empty()) joined += "; ";
+    joined += p;
+  }
+  return Status::InvalidArgument(joined);
+}
+
+}  // namespace rtq::harness

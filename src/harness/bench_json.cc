@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "harness/args.h"
 #include "harness/paper_experiments.h"
 
 #ifndef RTQ_GIT_DESCRIBE
@@ -135,10 +136,7 @@ JsonWriter& JsonWriter::Bool(bool value) {
 // --- BenchJsonEmitter ------------------------------------------------------
 
 std::string GitDescribe() {
-  if (const char* env = std::getenv("RTQ_GIT_DESCRIBE")) {
-    if (env[0] != '\0') return env;
-  }
-  return RTQ_GIT_DESCRIBE;
+  return EnvString("RTQ_GIT_DESCRIBE", RTQ_GIT_DESCRIBE);
 }
 
 BenchJsonEmitter::BenchJsonEmitter(std::string driver)

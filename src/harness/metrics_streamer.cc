@@ -1,0 +1,58 @@
+#include "harness/metrics_streamer.h"
+
+#include <limits>
+
+#include "harness/bench_json.h"
+
+namespace rtq::harness {
+
+void MetricsStreamer::Emit(engine::Rtdbs& sys, double wall_seconds) {
+  const auto& records = sys.metrics().records();
+  int64_t d_completed = 0;
+  int64_t d_missed = 0;
+  for (; record_cursor_ < records.size(); ++record_cursor_) {
+    ++d_completed;
+    if (records[record_cursor_].info.missed) ++d_missed;
+  }
+  cum_missed_ += d_missed;
+  auto completed = static_cast<int64_t>(records.size());
+
+  uint64_t events = sys.simulator().events_dispatched();
+  double d_wall = wall_seconds - last_wall_;
+  double rate = (lines_ > 0 && d_wall > 0.0)
+                    ? static_cast<double>(events - last_events_) / d_wall
+                    : std::numeric_limits<double>::quiet_NaN();
+  last_events_ = events;
+  last_wall_ = wall_seconds;
+
+  core::MemoryManager& mm = sys.memory_manager();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("rtq-serve-metrics-1");
+  w.Key("t").Number(sys.simulator().Now());
+  w.Key("events").Int(static_cast<int64_t>(events));
+  w.Key("pending").Int(static_cast<int64_t>(sys.simulator().pending_events()));
+  w.Key("live").Int(sys.live_queries());
+  w.Key("admitted").Int(mm.admitted_count());
+  w.Key("waiting").Int(mm.waiting_count());
+  w.Key("generated").Int(sys.arrivals().generated());
+  w.Key("completed").Int(completed);
+  w.Key("missed").Int(cum_missed_);
+  w.Key("miss_ratio")
+      .Number(completed > 0
+                  ? static_cast<double>(cum_missed_) / completed
+                  : 0.0);
+  w.Key("d_completed").Int(d_completed);
+  w.Key("d_missed").Int(d_missed);
+  w.Key("allocated_pages").Int(mm.allocated_pages());
+  w.Key("policy").String(sys.policy().Describe());
+  w.Key("wall_seconds").Number(wall_seconds);
+  w.Key("events_per_sec").Number(rate);
+  w.EndObject();
+
+  std::fprintf(out_, "%s\n", w.str().c_str());
+  std::fflush(out_);
+  ++lines_;
+}
+
+}  // namespace rtq::harness

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "core/policy_registry.h"
+#include "harness/args.h"
 #include "workload/scenario_registry.h"
 
 namespace rtq::harness {
@@ -68,12 +69,7 @@ SimTime ExperimentDuration() {
   // The paper runs each point for 10 simulated hours (>= 2000 query
   // completions). The default here is 3 hours so the full bench suite
   // finishes in minutes; set RTQ_SIM_HOURS=10 for paper-scale runs.
-  double hours = 3.0;
-  if (const char* env = std::getenv("RTQ_SIM_HOURS")) {
-    double parsed = std::atof(env);
-    if (parsed > 0.0) hours = parsed;
-  }
-  return hours * 3600.0;
+  return EnvPositiveDouble("RTQ_SIM_HOURS", 3.0) * 3600.0;
 }
 
 std::vector<engine::PolicyConfig> BaselinePolicies() {
@@ -82,12 +78,12 @@ std::vector<engine::PolicyConfig> BaselinePolicies() {
 
 std::vector<engine::PolicyConfig> PoliciesOrDefault(
     std::vector<engine::PolicyConfig> defaults) {
-  const char* env = std::getenv("RTQ_POLICIES");
-  if (env == nullptr || env[0] == '\0') return defaults;
+  std::string env = EnvString("RTQ_POLICIES", "");
+  if (env.empty()) return defaults;
 
   auto specs = core::ParsePolicyList(env);
   if (!specs.ok()) {
-    std::fprintf(stderr, "RTQ_POLICIES=\"%s\": %s\n", env,
+    std::fprintf(stderr, "RTQ_POLICIES=\"%s\": %s\n", env.c_str(),
                  specs.status().ToString().c_str());
     std::exit(2);
   }
@@ -96,7 +92,7 @@ std::vector<engine::PolicyConfig> PoliciesOrDefault(
     // Fail fast (before a multi-hour sweep) on unknown names or bad args.
     auto policy = core::PolicyRegistry::Global().Create(spec);
     if (!policy.ok()) {
-      std::fprintf(stderr, "RTQ_POLICIES=\"%s\": %s\n", env,
+      std::fprintf(stderr, "RTQ_POLICIES=\"%s\": %s\n", env.c_str(),
                    policy.status().ToString().c_str());
       std::exit(2);
     }

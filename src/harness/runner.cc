@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "engine/rtdbs.h"
+#include "harness/args.h"
 #include "harness/paper_experiments.h"
 
 namespace rtq::harness {
@@ -93,12 +94,8 @@ std::vector<RunResult> RunPoolImpl(const std::vector<RunSpec>& specs,
 }  // namespace
 
 int BenchJobs() {
-  if (const char* env = std::getenv("RTQ_BENCH_JOBS")) {
-    int parsed = std::atoi(env);
-    if (parsed > 0) return parsed;
-  }
   unsigned hc = std::thread::hardware_concurrency();
-  return hc > 0 ? static_cast<int>(hc) : 1;
+  return EnvPositiveInt("RTQ_BENCH_JOBS", hc > 0 ? static_cast<int>(hc) : 1);
 }
 
 std::vector<RunResult> RunPool(const std::vector<RunSpec>& specs, int jobs) {

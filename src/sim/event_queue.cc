@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -78,6 +79,16 @@ void EventQueue::PopRoot() const {
 
 void EventQueue::SkimCancelled() const {
   while (!heap_.empty() && Stale(heap_.front())) PopRoot();
+}
+
+std::vector<std::pair<SimTime, uint64_t>> EventQueue::ExportPending() const {
+  std::vector<std::pair<SimTime, uint64_t>> pending;
+  pending.reserve(live_count_);
+  for (const HeapEntry& e : heap_) {
+    if (!Stale(e)) pending.emplace_back(e.time, e.seq);
+  }
+  std::sort(pending.begin(), pending.end());
+  return pending;
 }
 
 SimTime EventQueue::PeekTime() const {

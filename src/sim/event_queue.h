@@ -59,6 +59,12 @@ class EventQueue {
   /// Total events ever scheduled (live + fired + cancelled); for stats.
   uint64_t total_scheduled() const { return scheduled_; }
 
+  /// The live calendar contents as (time, seq) keys in firing order —
+  /// the snapshot digest's view of pending events. Callbacks are not
+  /// exported; deterministic restore reconstructs them by replaying the
+  /// run up to the snapshot position.
+  std::vector<std::pair<SimTime, uint64_t>> ExportPending() const;
+
  private:
   /// A recycled callback slot. `gen` is odd while the slot holds a live
   /// event and even while it is free; every hand-over bumps it, so an

@@ -61,6 +61,10 @@ class Simulator {
   /// Live events awaiting dispatch.
   size_t pending_events() const { return events_.Size(); }
 
+  /// Read-only view of the event calendar; snapshot digests export its
+  /// pending (time, seq) keys through this.
+  const EventQueue& queue() const { return events_; }
+
  private:
   EventQueue events_;
   SimTime now_ = 0.0;

@@ -14,6 +14,8 @@
 
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "exec/operator.h"
 #include "exec/query.h"
@@ -31,8 +33,21 @@ class ArrivalSource {
   /// simulation runs.
   virtual void Start() = 0;
 
-  /// Number of queries emitted so far.
+  /// Permanently silences the stream: already-scheduled arrival events
+  /// become no-ops when they fire (they are not cancelled, so the event
+  /// calendar and dispatch counts stay identical either way — the
+  /// property live scenario swaps rely on for deterministic replay).
+  virtual void Stop() = 0;
+
+  /// Number of queries emitted so far. A source swapped in mid-run
+  /// continues the predecessor's id space (set_first_query_id), so after
+  /// a swap this is the cumulative count across the chain.
   virtual int64_t generated() const = 0;
+
+  /// Appends one line per internal state dimension (cursors, per-class
+  /// stream states, rng fingerprints) to `out`. Snapshot digests compare
+  /// these lines to prove the arrival stream was restored exactly.
+  virtual void AppendStateDigest(std::vector<std::string>* out) const = 0;
 };
 
 }  // namespace rtq::workload

@@ -1,9 +1,11 @@
 #include "workload/scenario.h"
 
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "common/fnv.h"
 
 namespace rtq::workload {
 
@@ -201,6 +203,16 @@ std::optional<SimTime> ArrivalProcess::Next() {
   return std::nullopt;
 }
 
+void ArrivalProcess::AppendDigest(std::string* out) const {
+  *out += FormatDouble(now_);
+  *out += " " + std::to_string(step_);
+  *out += " " + std::to_string(chain_started_ ? 1 : 0);
+  *out += " " + std::to_string(chain_hi_ ? 1 : 0);
+  *out += " " + FormatDouble(chain_switch_);
+  *out += " " + std::to_string(Fnv1a64Hash(arrivals_.StateString()));
+  *out += " " + std::to_string(Fnv1a64Hash(chain_.StateString()));
+}
+
 // ---------------------------------------------------------------------------
 // Shared per-class stream construction: fork order is the contract that
 // makes ScenarioSource (live) and RenderTrace (offline) bit-identical.
@@ -266,8 +278,29 @@ ScenarioSource::ScenarioSource(sim::Simulator* sim,
 void ScenarioSource::Start() {
   RTQ_CHECK_MSG(!started_, "ScenarioSource started twice");
   started_ = true;
+  t0_ = sim_->Now();
   for (size_t i = 0; i < class_state_.size(); ++i) {
     ScheduleNext(static_cast<int32_t>(i));
+  }
+}
+
+void ScenarioSource::Stop() { stopped_ = true; }
+
+void ScenarioSource::set_first_query_id(QueryId id) {
+  RTQ_CHECK_MSG(!started_, "set_first_query_id after Start");
+  next_id_ = id;
+}
+
+void ScenarioSource::AppendStateDigest(std::vector<std::string>* out) const {
+  out->push_back("source scenario " + std::to_string(next_id_) + " " +
+                 FormatDouble(t0_) + " " +
+                 std::to_string(stopped_ ? 1 : 0));
+  for (size_t i = 0; i < class_state_.size(); ++i) {
+    std::string line = "source.class " + std::to_string(i) + " ";
+    class_state_[i].process->AppendDigest(&line);
+    line += " " +
+            std::to_string(Fnv1a64Hash(class_state_[i].selection.StateString()));
+    out->push_back(std::move(line));
   }
 }
 
@@ -275,7 +308,8 @@ void ScenarioSource::ScheduleNext(int32_t query_class) {
   std::optional<SimTime> next =
       class_state_[static_cast<size_t>(query_class)].process->Next();
   if (!next.has_value()) return;
-  sim_->ScheduleAt(*next, [this, query_class] {
+  sim_->ScheduleAt(t0_ + *next, [this, query_class] {
+    if (stopped_) return;
     EmitQuery(query_class);
     ScheduleNext(query_class);
   });

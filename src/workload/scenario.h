@@ -112,6 +112,11 @@ class ArrivalProcess {
 
   std::optional<SimTime> Next();
 
+  /// Appends the full generator state (cursor, Markov chain phase, rng
+  /// fingerprints) as space-separated fields to `*out`; two processes
+  /// with equal digests produce identical arrival streams forever.
+  void AppendDigest(std::string* out) const;
+
  private:
   double RateAt(SimTime t);
   std::optional<SimTime> NextThinned();
@@ -142,9 +147,14 @@ class ScenarioSource : public ArrivalSource {
                  Sink sink);
 
   void Start() override;
+  void Stop() override;
   int64_t generated() const override {
     return static_cast<int64_t>(next_id_);
   }
+  void AppendStateDigest(std::vector<std::string>* out) const override;
+
+  /// See ArrivalSource; only valid before Start().
+  void set_first_query_id(QueryId id);
 
  private:
   void ScheduleNext(int32_t query_class);
@@ -166,6 +176,12 @@ class ScenarioSource : public ArrivalSource {
   std::vector<ClassState> class_state_;
   QueryId next_id_ = 0;
   bool started_ = false;
+  bool stopped_ = false;
+  /// Shape time is relative to Start(): a source swapped in mid-run
+  /// begins its shapes (flash_at, script steps, ...) at the swap instant
+  /// rather than scheduling into the simulated past. Zero for sources
+  /// started at time 0, so pre-existing runs are unchanged.
+  SimTime t0_ = 0.0;
 };
 
 /// Renders a scenario to a trace: all arrivals with time <= horizon, in

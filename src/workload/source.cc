@@ -1,8 +1,10 @@
 #include "workload/source.h"
 
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "common/fnv.h"
 #include "workload/query_builder.h"
 
 namespace rtq::workload {
@@ -36,6 +38,25 @@ void Source::Start() {
   for (size_t i = 0; i < class_state_.size(); ++i) {
     if (class_state_[i].active)
       ScheduleNextArrival(static_cast<int32_t>(i));
+  }
+}
+
+void Source::Stop() {
+  for (size_t i = 0; i < class_state_.size(); ++i) {
+    Deactivate(static_cast<int32_t>(i));
+  }
+}
+
+void Source::AppendStateDigest(std::vector<std::string>* out) const {
+  out->push_back("source poisson " + std::to_string(next_id_));
+  for (size_t i = 0; i < class_state_.size(); ++i) {
+    const ClassState& s = class_state_[i];
+    out->push_back("source.class " + std::to_string(i) + " " +
+                   std::to_string(s.active ? 1 : 0) + " " +
+                   std::to_string(s.epoch) + " " +
+                   std::to_string(Fnv1a64Hash(s.arrivals.StateString())) +
+                   " " +
+                   std::to_string(Fnv1a64Hash(s.selection.StateString())));
   }
 }
 

@@ -39,6 +39,9 @@ class Source : public ArrivalSource {
   /// Begins generating arrivals for all initially-active classes.
   void Start() override;
 
+  /// Deactivates every class; pending arrival events fire as no-ops.
+  void Stop() override;
+
   /// Enables / disables a class's arrival process at run time.
   void Activate(int32_t query_class);
   void Deactivate(int32_t query_class);
@@ -47,6 +50,17 @@ class Source : public ArrivalSource {
   int64_t generated() const override {
     return static_cast<int64_t>(next_id_);
   }
+
+  void AppendStateDigest(std::vector<std::string>* out) const override;
+
+  /// Sets the id of the first query this source will emit. Only valid
+  /// before Start(); a source swapped in mid-run continues the retired
+  /// predecessor's id space so the engine never sees a duplicate id.
+  void set_first_query_id(QueryId id) {
+    RTQ_CHECK_MSG(!started_, "set_first_query_id after Start");
+    next_id_ = id;
+  }
+
   const WorkloadSpec& spec() const { return spec_; }
 
  private:

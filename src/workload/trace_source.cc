@@ -133,10 +133,17 @@ void TraceSource::Start() {
   ScheduleNext();
 }
 
+void TraceSource::AppendStateDigest(std::vector<std::string>* out) const {
+  out->push_back("source trace " + std::to_string(next_id_) + " " +
+                 std::to_string(cursor_) + " " +
+                 std::to_string(stopped_ ? 1 : 0));
+}
+
 void TraceSource::ScheduleNext() {
   if (cursor_ >= trace_->records.size()) return;
   const TraceRecord& rec = trace_->records[cursor_];
   sim_->ScheduleAt(rec.time, [this] {
+    if (stopped_) return;
     const TraceRecord& r = trace_->records[cursor_++];
     QueryBlueprint bp;
     bp.time = r.time;

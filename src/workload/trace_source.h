@@ -39,9 +39,11 @@ class TraceSource : public ArrivalSource {
       std::shared_ptr<const Trace> trace, Sink sink);
 
   void Start() override;
+  void Stop() override { stopped_ = true; }
   int64_t generated() const override {
     return static_cast<int64_t>(next_id_);
   }
+  void AppendStateDigest(std::vector<std::string>* out) const override;
   const Trace& trace() const { return *trace_; }
 
  private:
@@ -63,6 +65,7 @@ class TraceSource : public ArrivalSource {
   size_t cursor_ = 0;
   QueryId next_id_ = 0;
   bool started_ = false;
+  bool stopped_ = false;
 };
 
 }  // namespace rtq::workload

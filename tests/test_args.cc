@@ -1,0 +1,107 @@
+// harness/args: shared environment-knob helpers and the --flag=value
+// parser used by the long-running driver binaries.
+
+#include "harness/args.h"
+
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+
+namespace rtq::harness {
+namespace {
+
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) { unsetenv(name); }
+  ~EnvGuard() { unsetenv(name_); }
+  void Set(const char* value) { setenv(name_, value, /*overwrite=*/1); }
+
+ private:
+  const char* name_;
+};
+
+TEST(EnvKnobs, StringFallsBackWhenUnsetOrEmpty) {
+  EnvGuard guard("RTQ_TEST_KNOB");
+  EXPECT_EQ(EnvString("RTQ_TEST_KNOB", "dflt"), "dflt");
+  guard.Set("");
+  EXPECT_EQ(EnvString("RTQ_TEST_KNOB", "dflt"), "dflt");
+  guard.Set("value");
+  EXPECT_EQ(EnvString("RTQ_TEST_KNOB", "dflt"), "value");
+}
+
+TEST(EnvKnobs, PositiveDoubleRejectsZeroNegativeAndGarbage) {
+  EnvGuard guard("RTQ_TEST_KNOB");
+  EXPECT_DOUBLE_EQ(EnvPositiveDouble("RTQ_TEST_KNOB", 3.0), 3.0);
+  guard.Set("10");
+  EXPECT_DOUBLE_EQ(EnvPositiveDouble("RTQ_TEST_KNOB", 3.0), 10.0);
+  guard.Set("0");
+  EXPECT_DOUBLE_EQ(EnvPositiveDouble("RTQ_TEST_KNOB", 3.0), 3.0);
+  guard.Set("-2");
+  EXPECT_DOUBLE_EQ(EnvPositiveDouble("RTQ_TEST_KNOB", 3.0), 3.0);
+  guard.Set("ten");
+  EXPECT_DOUBLE_EQ(EnvPositiveDouble("RTQ_TEST_KNOB", 3.0), 3.0);
+}
+
+TEST(EnvKnobs, PositiveIntMirrorsDoubleDiscipline) {
+  EnvGuard guard("RTQ_TEST_KNOB");
+  EXPECT_EQ(EnvPositiveInt("RTQ_TEST_KNOB", 4), 4);
+  guard.Set("8");
+  EXPECT_EQ(EnvPositiveInt("RTQ_TEST_KNOB", 4), 8);
+  guard.Set("0");
+  EXPECT_EQ(EnvPositiveInt("RTQ_TEST_KNOB", 4), 4);
+  guard.Set("-3");
+  EXPECT_EQ(EnvPositiveInt("RTQ_TEST_KNOB", 4), 4);
+  guard.Set("jobs");
+  EXPECT_EQ(EnvPositiveInt("RTQ_TEST_KNOB", 4), 4);
+}
+
+std::vector<const char*> Argv(std::initializer_list<const char*> rest) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), rest.begin(), rest.end());
+  return argv;
+}
+
+TEST(ArgParser, TypedAccessorsAndFallbacks) {
+  auto argv = Argv({"--workload=baseline:rate=0.1", "--seed=7",
+                    "--pace=2.5", "--verbose"});
+  ArgParser args(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.String("workload", "x"), "baseline:rate=0.1");
+  EXPECT_EQ(args.Int("seed", 42), 7);
+  EXPECT_DOUBLE_EQ(args.Double("pace", 0.0), 2.5);
+  EXPECT_TRUE(args.Bool("verbose"));
+  EXPECT_EQ(args.String("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.Int("also-missing", 13), 13);
+  EXPECT_FALSE(args.Bool("quiet"));
+  EXPECT_TRUE(args.Finish().ok());
+}
+
+TEST(ArgParser, UnknownFlagFailsFinish) {
+  auto argv = Argv({"--workload=x", "--max-event=5"});
+  ArgParser args(static_cast<int>(argv.size()), argv.data());
+  args.String("workload", "");
+  Status st = args.Finish();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("max-event"), std::string::npos);
+}
+
+TEST(ArgParser, MalformedValueFailsFinish) {
+  auto argv = Argv({"--seed=seven"});
+  ArgParser args(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args.Int("seed", 42), 42);  // falls back, but records the error
+  Status st = args.Finish();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("seed"), std::string::npos);
+}
+
+TEST(ArgParser, CollectsPositionals) {
+  auto argv = Argv({"input.rtqs", "--seed=1", "other"});
+  ArgParser args(static_cast<int>(argv.size()), argv.data());
+  args.Int("seed", 0);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.rtqs");
+  EXPECT_EQ(args.positional()[1], "other");
+  EXPECT_TRUE(args.Finish().ok());
+}
+
+}  // namespace
+}  // namespace rtq::harness
