@@ -8,6 +8,8 @@
 #include <deque>
 
 #include "buffer/lru_cache.h"
+#include "common/arena.h"
+#include "common/inline_callback.h"
 #include "common/rng.h"
 #include "core/memory_manager.h"
 #include "core/policy_registry.h"
@@ -150,6 +152,21 @@ void BM_LruCacheChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_LruCacheChurn);
 
+// Pure promote path: every probe hits a resident key, so the cost is one
+// hash find plus the intrusive head-splice — the buffer-manager fast
+// path a query pays per page reference once its working set is warm.
+void BM_LruTouch(benchmark::State& state) {
+  rtq::Rng rng(12);
+  rtq::buffer::LruCache cache(1024);
+  for (uint64_t key = 0; key < 1024; ++key) cache.Insert(key);
+  for (auto _ : state) {
+    uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, 1023));
+    benchmark::DoNotOptimize(cache.Lookup(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruTouch);
+
 // The per-request disk timing model: every simulated I/O pays one
 // AccessTime evaluation, so this sits squarely on the event hot path.
 void BM_DiskGeometryAccessTime(benchmark::State& state) {
@@ -281,5 +298,56 @@ void BM_PolicyRegistryCreate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PolicyRegistryCreate);
+
+// The allocation pattern of one query phase: a burst of small
+// mixed-size node allocations, then everything freed at once. Arg 0
+// plays it against the global heap (malloc per node, free per node);
+// arg 1 against a phase-scoped Arena (bump pointer, one Reset). The gap
+// is what the per-query runtime arenas buy on admission.
+void BM_ArenaVsMalloc(benchmark::State& state) {
+  const bool use_arena = state.range(0) != 0;
+  constexpr int kNodes = 256;
+  constexpr size_t kSizes[] = {16, 24, 40, 64, 96};
+  rtq::Arena arena;
+  std::vector<void*> ptrs;
+  ptrs.reserve(kNodes);
+  for (auto _ : state) {
+    if (use_arena) {
+      for (int i = 0; i < kNodes; ++i) {
+        benchmark::DoNotOptimize(arena.Allocate(kSizes[i % 5], 8));
+      }
+      arena.Reset();
+    } else {
+      ptrs.clear();
+      for (int i = 0; i < kNodes; ++i) {
+        ptrs.push_back(::operator new(kSizes[i % 5]));
+      }
+      for (void* p : ptrs) ::operator delete(p);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kNodes);
+  state.SetLabel(use_arena ? "arena" : "malloc");
+}
+BENCHMARK(BM_ArenaVsMalloc)->Arg(0)->Arg(1);
+
+// One simulated event's callback life-cycle: construct in a slot,
+// relocate once (slab slot -> simulator-loop holder, as PopInto does),
+// dispatch through the ops table. The capture is two pointers and a
+// payload — the shape of the engine's completion continuations.
+void BM_InlineCallbackDispatch(benchmark::State& state) {
+  uint64_t sink = 0;
+  uint64_t* sink_ptr = &sink;
+  int64_t payload = 0;
+  rtq::InlineCallback<48> slot;
+  for (auto _ : state) {
+    ++payload;
+    slot = [sink_ptr, payload] { *sink_ptr += static_cast<uint64_t>(payload); };
+    rtq::InlineCallback<48> holder(std::move(slot));
+    holder();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InlineCallbackDispatch);
 
 }  // namespace

@@ -6,7 +6,6 @@
 //   $ ./build/examples/adaptive_operators
 
 #include <cstdio>
-#include <functional>
 #include <queue>
 
 #include "exec/hash_join.h"
@@ -23,19 +22,19 @@ class ToyContext : public rtq::exec::ExecContext {
   rtq::SimTime Now() const override { return now_; }
 
   void RunCpu(rtq::Instructions instructions,
-              std::function<void()> done) override {
+              rtq::exec::DoneCallback done) override {
     now_ += static_cast<double>(instructions) / 40e6;
     pending_.push(std::move(done));
   }
   void Read(rtq::DiskId, rtq::PageCount, rtq::PageCount pages,
-            std::function<void()> done) override {
+            rtq::exec::DoneCallback done) override {
     now_ += 0.012 + 0.0002 * static_cast<double>(pages);
     ++reads_;
     pages_read_ += pages;
     pending_.push(std::move(done));
   }
   void Write(rtq::DiskId, rtq::PageCount, rtq::PageCount pages,
-             std::function<void()> done, bool /*background*/) override {
+             rtq::exec::DoneCallback done, bool /*background*/) override {
     now_ += 0.012 + 0.0002 * static_cast<double>(pages);
     ++writes_;
     pages_written_ += pages;
@@ -67,7 +66,7 @@ class ToyContext : public rtq::exec::ExecContext {
  private:
   rtq::SimTime now_ = 0.0;
   rtq::PageCount next_temp_ = 0;
-  std::queue<std::function<void()>> pending_;
+  std::queue<rtq::exec::DoneCallback> pending_;
 };
 
 }  // namespace

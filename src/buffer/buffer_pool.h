@@ -14,8 +14,10 @@
 #define RTQ_BUFFER_BUFFER_POOL_H_
 
 #include <unordered_map>
+#include <utility>
 
 #include "buffer/lru_cache.h"
+#include "common/pool.h"
 #include "common/status.h"
 #include "common/types.h"
 
@@ -58,7 +60,16 @@ class BufferPool {
  private:
   PageCount total_;
   PageCount reserved_ = 0;
-  std::unordered_map<QueryId, PageCount> reservations_;
+  // Reservation nodes recycle through a pool (declared before the map it
+  // feeds): reservation churn allocates nothing in steady state.
+  NodePool pool_;
+  using ReservationMap =
+      std::unordered_map<QueryId, PageCount, std::hash<QueryId>,
+                         std::equal_to<QueryId>,
+                         PoolAllocator<std::pair<const QueryId, PageCount>>>;
+  ReservationMap reservations_{
+      8, std::hash<QueryId>(), std::equal_to<QueryId>(),
+      PoolAllocator<std::pair<const QueryId, PageCount>>(&pool_)};
   LruCache cache_;
 };
 

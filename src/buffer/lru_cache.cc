@@ -14,50 +14,114 @@ void LruCache::SetCapacity(PageCount capacity) {
   EvictToCapacity();
 }
 
-void LruCache::EvictToCapacity() {
-  while (static_cast<PageCount>(map_.size()) > capacity_) {
-    map_.erase(order_.back());
-    order_.pop_back();
+void LruCache::LinkFront(uint32_t slot) {
+  Node& n = nodes_[slot];
+  n.prev = kNullHandle;
+  n.next = head_;
+  if (head_ != kNullHandle) nodes_[head_].prev = slot;
+  head_ = slot;
+  if (tail_ == kNullHandle) tail_ = slot;
+}
+
+void LruCache::Unlink(uint32_t slot) {
+  Node& n = nodes_[slot];
+  if (n.prev != kNullHandle) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    head_ = n.next;
   }
+  if (n.next != kNullHandle) {
+    nodes_[n.next].prev = n.prev;
+  } else {
+    tail_ = n.prev;
+  }
+}
+
+void LruCache::EvictToCapacity() {
+  while (static_cast<PageCount>(index_.size()) > capacity_) {
+    uint32_t victim = tail_;
+    RTQ_DCHECK(victim != kNullHandle);
+    Unlink(victim);
+    index_.erase(nodes_[victim].key);
+    free_slots_.push_back(victim);
+  }
+}
+
+LruCache::Handle LruCache::Find(uint64_t key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? kNullHandle : it->second;
+}
+
+void LruCache::Touch(Handle h) {
+  RTQ_DCHECK(h < nodes_.size());
+  ++hits_;
+  if (head_ == h) return;
+  Unlink(h);
+  LinkFront(h);
 }
 
 bool LruCache::Lookup(uint64_t key) {
-  auto it = map_.find(key);
-  if (it == map_.end()) {
+  Handle h = Find(key);
+  if (h == kNullHandle) {
     ++misses_;
     return false;
   }
-  order_.splice(order_.begin(), order_, it->second);
-  ++hits_;
+  Touch(h);
   return true;
-}
-
-bool LruCache::Contains(uint64_t key) const {
-  return map_.find(key) != map_.end();
 }
 
 void LruCache::Insert(uint64_t key) {
   if (capacity_ == 0) return;
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    order_.splice(order_.begin(), order_, it->second);
+  // One hash probe covers both the residency check and the insert.
+  auto [it, inserted] = index_.try_emplace(key, 0);
+  if (!inserted) {
+    // Resident: promote only, no hit counted (matches the historical
+    // std::list splice semantics the state digests pin).
+    Handle h = it->second;
+    if (head_ != h) {
+      Unlink(h);
+      LinkFront(h);
+    }
     return;
   }
-  order_.push_front(key);
-  map_.emplace(key, order_.begin());
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back(Node{0, kNullHandle, kNullHandle});
+  }
+  nodes_[slot].key = key;
+  LinkFront(slot);
+  it->second = slot;
   EvictToCapacity();
 }
 
 void LruCache::Erase(uint64_t key) {
-  auto it = map_.find(key);
-  if (it == map_.end()) return;
-  order_.erase(it->second);
-  map_.erase(it);
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  uint32_t slot = it->second;
+  Unlink(slot);
+  index_.erase(it);
+  free_slots_.push_back(slot);
 }
 
 void LruCache::Clear() {
-  order_.clear();
-  map_.clear();
+  for (uint32_t s = head_; s != kNullHandle; s = nodes_[s].next) {
+    free_slots_.push_back(s);
+  }
+  index_.clear();
+  head_ = tail_ = kNullHandle;
+}
+
+std::vector<uint64_t> LruCache::Keys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(index_.size());
+  for (uint32_t s = head_; s != kNullHandle; s = nodes_[s].next) {
+    keys.push_back(nodes_[s].key);
+  }
+  return keys;
 }
 
 }  // namespace rtq::buffer

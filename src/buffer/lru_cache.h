@@ -4,34 +4,56 @@
 // non-reserved buffers is handled according to the LRU policy" (paper
 // Section 4.2). Keys are global page ids (disk, page) packed into 64 bits
 // by the buffer pool.
+//
+// Storage is one intrusive slab: recency links live inside the node
+// vector (indices, not list pointers), the key->slot index recycles its
+// nodes through a NodePool, and freed slots are reused — so the cache
+// performs zero heap allocation in steady state. The Find/Touch handle
+// pair lets the engine's multi-page coverage probe hash each page ONCE
+// (Find) and promote on the hit path (Touch) without re-hashing.
 
 #ifndef RTQ_BUFFER_LRU_CACHE_H_
 #define RTQ_BUFFER_LRU_CACHE_H_
 
 #include <cstdint>
-#include <list>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/pool.h"
 #include "common/types.h"
 
 namespace rtq::buffer {
 
 class LruCache {
  public:
+  /// Stable slot index of a resident page, valid until the next mutation
+  /// (Insert/Erase/SetCapacity/Clear) — NOT across them.
+  using Handle = uint32_t;
+  static constexpr Handle kNullHandle = UINT32_MAX;
+
   explicit LruCache(PageCount capacity);
 
   /// Changes capacity; evicts LRU entries if shrinking below current size.
   void SetCapacity(PageCount capacity);
 
-  /// True (and promotes to MRU) when `key` is resident.
+  /// Resident slot of `key`, or kNullHandle. No counters, no promotion —
+  /// for probing several pages before deciding (pair with Touch).
+  Handle Find(uint64_t key) const;
+
+  /// Counts a hit and promotes the (resident) slot to MRU.
+  void Touch(Handle h);
+
+  /// True (and counts a hit + promotes to MRU) when `key` is resident;
+  /// counts a miss otherwise.
   bool Lookup(uint64_t key);
 
-  /// True without promoting — for probing several pages before deciding.
-  bool Contains(uint64_t key) const;
+  /// True without promoting or counting.
+  bool Contains(uint64_t key) const { return Find(key) != kNullHandle; }
 
   /// Inserts `key` as MRU, evicting the LRU page if full. No-op for a
-  /// resident key beyond promotion, and for zero capacity.
+  /// resident key beyond promotion (no hit is counted), and for zero
+  /// capacity.
   void Insert(uint64_t key);
 
   /// Removes a specific page if present (e.g. invalidation on write).
@@ -41,21 +63,37 @@ class LruCache {
 
   /// Resident keys in recency order (MRU first) — the snapshot digest's
   /// view of cache contents, where order matters as much as membership.
-  std::vector<uint64_t> Keys() const {
-    return std::vector<uint64_t>(order_.begin(), order_.end());
-  }
+  std::vector<uint64_t> Keys() const;
 
-  PageCount size() const { return static_cast<PageCount>(map_.size()); }
+  PageCount size() const { return static_cast<PageCount>(index_.size()); }
   PageCount capacity() const { return capacity_; }
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
 
  private:
+  struct Node {
+    uint64_t key;
+    uint32_t prev;
+    uint32_t next;
+  };
+
+  void LinkFront(uint32_t slot);
+  void Unlink(uint32_t slot);
   void EvictToCapacity();
 
   PageCount capacity_;
-  std::list<uint64_t> order_;  // front = MRU
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+  // Pool before the index map so the map is destroyed first.
+  NodePool pool_;
+  using Index =
+      std::unordered_map<uint64_t, uint32_t, std::hash<uint64_t>,
+                         std::equal_to<uint64_t>,
+                         PoolAllocator<std::pair<const uint64_t, uint32_t>>>;
+  Index index_{8, std::hash<uint64_t>(), std::equal_to<uint64_t>(),
+               PoolAllocator<std::pair<const uint64_t, uint32_t>>(&pool_)};
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> free_slots_;
+  uint32_t head_ = kNullHandle;  // MRU
+  uint32_t tail_ = kNullHandle;  // LRU
   int64_t hits_ = 0;
   int64_t misses_ = 0;
 };

@@ -1,0 +1,107 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace rtq {
+
+Arena::Arena(std::size_t initial_chunk_bytes)
+    : initial_chunk_bytes_(std::max<std::size_t>(initial_chunk_bytes, 64)) {}
+
+Arena::~Arena() {
+  Reset();
+  Chunk* c = head_;
+  while (c != nullptr) {
+    Chunk* next = c->next;
+    ::operator delete(c);
+    c = next;
+  }
+}
+
+Arena::Chunk* Arena::NewChunk(std::size_t min_payload) {
+  // Geometric growth from the initial size so the chunk count stays
+  // logarithmic in the phase footprint.
+  std::size_t payload = initial_chunk_bytes_
+                        << std::min<std::size_t>(chunk_count_, 10);
+  payload = std::max(payload, min_payload);
+  void* raw = ::operator new(sizeof(Chunk) + payload);
+  Chunk* c = static_cast<Chunk*>(raw);
+  c->next = nullptr;
+  c->size = payload;
+  bytes_reserved_ += sizeof(Chunk) + payload;
+  ++chunk_count_;
+  return c;
+}
+
+void* Arena::Allocate(std::size_t bytes, std::size_t align) {
+  RTQ_CHECK(align != 0 && (align & (align - 1)) == 0);
+  auto addr = reinterpret_cast<std::uintptr_t>(ptr_);
+  std::size_t pad = (~addr + 1) & (align - 1);
+  if (ptr_ != nullptr && pad + bytes <= static_cast<std::size_t>(end_ - ptr_)) {
+    void* p = ptr_ + pad;
+    ptr_ += pad + bytes;
+    bytes_used_ += pad + bytes;
+    high_water_ = std::max(high_water_, bytes_used_);
+    return p;
+  }
+  return AllocateSlow(bytes, align);
+}
+
+void* Arena::AllocateSlow(std::size_t bytes, std::size_t align) {
+  // Advance through retained chunks first; only grow the heap once the
+  // phase outruns every chunk it has ever owned. Chunk payloads start
+  // max_align-aligned, so a fresh chunk needs no padding for any align
+  // this arena accepts.
+  RTQ_CHECK(align <= alignof(std::max_align_t));
+  Chunk* next = (current_ != nullptr) ? current_->next : head_;
+  while (next != nullptr && next->size < bytes) {
+    // Too small for this request; skip it this phase (still retained —
+    // a later Reset starts over from head_).
+    current_ = next;
+    next = next->next;
+  }
+  if (next == nullptr) {
+    next = NewChunk(bytes);
+    if (current_ != nullptr) {
+      current_->next = next;
+    } else {
+      head_ = next;
+    }
+  }
+  current_ = next;
+  ptr_ = current_->data();
+  end_ = ptr_ + current_->size;
+  void* p = ptr_;
+  ptr_ += bytes;
+  bytes_used_ += bytes;
+  high_water_ = std::max(high_water_, bytes_used_);
+  return p;
+}
+
+void Arena::RegisterFinalizer(void* obj, void (*fn)(void*)) {
+  auto* rec =
+      static_cast<Finalizer*>(Allocate(sizeof(Finalizer), alignof(Finalizer)));
+  rec->fn = fn;
+  rec->obj = obj;
+  rec->next = finalizers_;
+  finalizers_ = rec;
+}
+
+void Arena::Reset() {
+  for (Finalizer* f = finalizers_; f != nullptr; f = f->next) {
+    f->fn(f->obj);
+  }
+  finalizers_ = nullptr;
+  bytes_used_ = 0;
+  current_ = head_;
+  if (head_ != nullptr) {
+    ptr_ = head_->data();
+    end_ = ptr_ + head_->size;
+  } else {
+    ptr_ = end_ = nullptr;
+  }
+}
+
+}  // namespace rtq

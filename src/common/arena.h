@@ -1,0 +1,136 @@
+#ifndef RTQ_COMMON_ARENA_H_
+#define RTQ_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rtq {
+
+// Phase-scoped bump allocator. Objects placed in an Arena do not have
+// individual lifetimes: the whole phase is reclaimed at once by Reset(),
+// which runs registered finalizers (newest first) and rewinds the bump
+// cursor while KEEPING every chunk for reuse. After the first few phases
+// the chunk list stabilises at its high-water mark and subsequent phases
+// perform zero heap allocations — this is the property the steady-state
+// malloc gate (tests/alloc_gate_test.cc) asserts for query runtimes.
+//
+// Not thread-safe; one arena per owner.
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_chunk_bytes = kDefaultChunkBytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Raw bytes; align must be a power of two <= alignof(std::max_align_t).
+  void* Allocate(std::size_t bytes, std::size_t align);
+
+  // Placement-constructs a T. Non-trivially-destructible types get a
+  // finalizer record (also arena-allocated) so Reset() can destroy them.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    void* p = Allocate(sizeof(T), alignof(T));
+    T* obj = ::new (p) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      RegisterFinalizer(obj, [](void* q) { static_cast<T*>(q)->~T(); });
+    }
+    return obj;
+  }
+
+  // Uninitialised array of a trivially-destructible T.
+  template <typename T>
+  T* NewArray(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "NewArray does not register finalizers");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // Runs finalizers newest-first, then rewinds to the first chunk.
+  // Chunks are retained, so a phase that fits in the existing chunks
+  // allocates nothing from the heap.
+  void Reset();
+
+  // Bytes handed out since the last Reset (includes alignment padding
+  // and finalizer records).
+  std::size_t bytes_used() const { return bytes_used_; }
+  // Total heap bytes owned by the arena's chunks (survives Reset).
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+  // Max bytes_used() observed over any phase so far.
+  std::size_t high_water() const { return high_water_; }
+  std::size_t chunk_count() const { return chunk_count_; }
+
+  static constexpr std::size_t kDefaultChunkBytes = 8192;
+
+ private:
+  struct Chunk {
+    Chunk* next;
+    std::size_t size;  // usable payload bytes following this header
+    unsigned char* data() { return reinterpret_cast<unsigned char*>(this + 1); }
+  };
+  struct Finalizer {
+    void (*fn)(void*);
+    void* obj;
+    Finalizer* next;
+  };
+
+  void RegisterFinalizer(void* obj, void (*fn)(void*));
+  void* AllocateSlow(std::size_t bytes, std::size_t align);
+  Chunk* NewChunk(std::size_t min_payload);
+
+  Chunk* head_ = nullptr;     // first chunk, in allocation order
+  Chunk* current_ = nullptr;  // chunk the cursor lives in
+  unsigned char* ptr_ = nullptr;
+  unsigned char* end_ = nullptr;
+  Finalizer* finalizers_ = nullptr;  // newest first
+  std::size_t initial_chunk_bytes_;
+  std::size_t bytes_used_ = 0;
+  std::size_t bytes_reserved_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t chunk_count_ = 0;
+};
+
+// Minimal std-compatible allocator over an Arena. A default-constructed
+// (nullptr-arena) instance falls back to the global heap so containers
+// remain usable in contexts without an arena (tests, cold paths).
+// Arena-backed deallocate is a no-op: memory returns at Reset().
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() noexcept : arena_(nullptr) {}
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace rtq
+
+#endif  // RTQ_COMMON_ARENA_H_

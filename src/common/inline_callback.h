@@ -1,0 +1,178 @@
+#ifndef RTQ_COMMON_INLINE_CALLBACK_H_
+#define RTQ_COMMON_INLINE_CALLBACK_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rtq {
+
+namespace internal {
+
+// One ops table per callable type, shared by every InlineCallback
+// capacity (which is what makes the widening converting move legal).
+// `move_construct` is null for trivially-copyable captures and `destroy`
+// for trivially-destructible ones: the holder then relocates with a
+// fixed-size inline copy / skips destruction, avoiding an indirect call
+// per event on the simulator's hottest path.
+struct CallbackOps {
+  void (*invoke)(void* buf);
+  void (*move_construct)(void* dst, void* src) noexcept;
+  void (*destroy)(void* buf) noexcept;
+};
+
+template <typename D>
+struct CallbackOpsFor {
+  static void Invoke(void* buf) { (*static_cast<D*>(buf))(); }
+  static void MoveConstruct(void* dst, void* src) noexcept {
+    ::new (dst) D(std::move(*static_cast<D*>(src)));
+    static_cast<D*>(src)->~D();
+  }
+  static void Destroy(void* buf) noexcept { static_cast<D*>(buf)->~D(); }
+  static constexpr CallbackOps table = {
+      &Invoke,
+      std::is_trivially_copyable_v<D> ? nullptr : &MoveConstruct,
+      std::is_trivially_destructible_v<D> ? nullptr : &Destroy};
+};
+
+template <typename D>
+constexpr CallbackOps CallbackOpsFor<D>::table;
+
+}  // namespace internal
+
+// Fixed-capacity move-only callable holder for void() continuations.
+// Unlike std::function there is NO heap fallback: a capture larger than
+// Capacity is a compile error (static_assert), so hot submit paths stay
+// allocation-free by construction. Widening moves (smaller capacity into
+// larger) are allowed; narrowing is not. See docs/ARCHITECTURE.md
+// ("Performance") for the capture-size budget per call site.
+template <std::size_t Capacity>
+class InlineCallback {
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+  // 8-byte alignment covers every hot-path capture (pointers, int64,
+  // double) while keeping nested callbacks compact enough to stack:
+  // sizeof(InlineCallback<C>) is exactly C + 8.
+  static constexpr std::size_t kAlign = 8;
+
+  InlineCallback() noexcept : ops_(nullptr) {}
+  InlineCallback(std::nullptr_t) noexcept : ops_(nullptr) {}  // NOLINT
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT: implicit like std::function
+    Construct(std::forward<F>(f));
+  }
+
+  /// Assigning a callable constructs it directly in the buffer — no
+  /// temporary holder, no relocation. This is what lets the event queue
+  /// build a callback straight into its slab slot.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback& operator=(F&& f) {
+    Clear();
+    Construct(std::forward<F>(f));
+    return *this;
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { AdoptFrom(other); }
+
+  // Widening move from a smaller capacity.
+  template <std::size_t C2, typename = std::enable_if_t<(C2 < Capacity)>>
+  InlineCallback(InlineCallback<C2>&& other) noexcept {  // NOLINT
+    AdoptFrom(other);
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      AdoptFrom(other);
+    }
+    return *this;
+  }
+
+  InlineCallback& operator=(std::nullptr_t) noexcept {
+    Clear();
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Clear(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  template <std::size_t>
+  friend class InlineCallback;
+
+  template <typename F>
+  void Construct(F&& f) {
+    using D = std::decay_t<F>;
+    static_assert(sizeof(D) <= Capacity,
+                  "capture too large for this InlineCallback capacity; "
+                  "shrink the capture or widen the call site's alias");
+    static_assert(alignof(D) <= kAlign, "over-aligned capture");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "captures must be nothrow-move-constructible");
+    ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+    // Trivially-copyable captures relocate with a full-capacity
+    // fixed-size copy (see AdoptFrom); zero the tail once here so that
+    // copy never reads indeterminate bytes. An empty callable writes no
+    // bytes at all, so its tail is the whole buffer.
+    constexpr std::size_t used = std::is_empty_v<D> ? 0 : sizeof(D);
+    if constexpr (std::is_trivially_copyable_v<D> && used < Capacity) {
+      std::memset(buf_ + used, 0, Capacity - used);
+    }
+    ops_ = &internal::CallbackOpsFor<D>::table;
+  }
+
+  /// Takes over `other`'s callable (ops_ must be empty). Trivially
+  /// copyable captures relocate with a compile-time-sized copy of the
+  /// source's whole buffer (its tail is zeroed at construction), which
+  /// the compiler turns into a few vector moves; only non-trivial
+  /// captures pay the indirect call.
+  template <std::size_t C2>
+  void AdoptFrom(InlineCallback<C2>& other) noexcept {
+    static_assert(C2 <= Capacity, "narrowing callback move");
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->move_construct != nullptr) {
+        ops_->move_construct(buf_, other.buf_);
+      } else {
+        std::memcpy(buf_, other.buf_, C2);
+        // Keep a widened holder fully initialized so its own future
+        // relocations can again copy the full buffer.
+        if constexpr (C2 < Capacity) {
+          std::memset(buf_ + C2, 0, Capacity - C2);
+        }
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Clear() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  const internal::CallbackOps* ops_;
+  alignas(kAlign) unsigned char buf_[Capacity];
+};
+
+}  // namespace rtq
+
+#endif  // RTQ_COMMON_INLINE_CALLBACK_H_

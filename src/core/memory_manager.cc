@@ -112,8 +112,8 @@ void MemoryManager::Reallocate() {
     }
 
     StableTailHint hint;
-    AllocationVector alloc =
-        strategy_->AllocateWithHint(ed_scratch_, total_, &hint);
+    strategy_->AllocateInto(ed_scratch_, total_, &alloc_scratch_, &hint);
+    const AllocationVector& alloc = alloc_scratch_;
     RTQ_CHECK(alloc.size() == ed_scratch_.size());
 
     size_t i = 0;

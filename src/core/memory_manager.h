@@ -22,8 +22,10 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/pool.h"
 #include "common/types.h"
 #include "core/strategy.h"
 
@@ -96,8 +98,23 @@ class MemoryManager {
   PageCount total_;
   std::unique_ptr<AllocationStrategy> strategy_;
   ApplyFn apply_;
-  std::map<EdKey, Entry> queries_;  // ED-ordered
-  std::unordered_map<QueryId, EdKey> by_id_;  // O(1) id -> ED position
+  // Both membership maps recycle their nodes through a pool, so
+  // steady-state arrival/retire churn costs no heap allocation. The pool
+  // outlives (is declared before) the containers that use it.
+  NodePool node_pool_;
+  using QueryMap =
+      std::map<EdKey, Entry, std::less<EdKey>,
+               PoolAllocator<std::pair<const EdKey, Entry>>>;
+  using ByIdMap =
+      std::unordered_map<QueryId, EdKey, std::hash<QueryId>,
+                         std::equal_to<QueryId>,
+                         PoolAllocator<std::pair<const QueryId, EdKey>>>;
+  QueryMap queries_{std::less<EdKey>(),
+                    PoolAllocator<std::pair<const EdKey, Entry>>(
+                        &node_pool_)};  // ED-ordered
+  ByIdMap by_id_{8, std::hash<QueryId>(), std::equal_to<QueryId>(),
+                 PoolAllocator<std::pair<const QueryId, EdKey>>(
+                     &node_pool_)};  // O(1) id -> ED position
   PageCount allocated_sum_ = 0;   // invariant: sum of entry.allocation
   int64_t admitted_count_ = 0;    // invariant: #entries with allocation > 0
   int64_t recomputes_ = 0;
@@ -116,6 +133,7 @@ class MemoryManager {
   // Scratch buffers reused across recomputes to avoid allocation churn.
   std::vector<MemRequest> ed_scratch_;
   std::vector<EdKey> key_scratch_;
+  AllocationVector alloc_scratch_;
 };
 
 }  // namespace rtq::core

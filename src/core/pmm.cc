@@ -25,6 +25,9 @@ PmmController::PmmController(const PmmParams& params, MemoryManager* mm,
     : params_(params), mm_(mm), probe_(probe) {
   RTQ_CHECK(mm != nullptr && probe != nullptr);
   RTQ_CHECK_MSG(params.Validate().ok(), "invalid PMM parameters");
+  // Adaptations are rare (~one per tens of completions); pre-growing the
+  // trace keeps its amortized reallocation out of the steady-state path.
+  trace_.reserve(1024);
   // The paper: "Initially, the Max mode is selected."
   mm_->SetStrategy(MakeMaxStrategy());
 }

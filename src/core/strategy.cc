@@ -51,7 +51,16 @@ AllocationVector MaxStrategy::Allocate(
 AllocationVector MaxStrategy::AllocateWithHint(
     const std::vector<MemRequest>& ed_sorted, PageCount total,
     StableTailHint* hint) const {
-  AllocationVector out(ed_sorted.size(), 0);
+  AllocationVector result;
+  AllocateInto(ed_sorted, total, &result, hint);
+  return result;
+}
+
+void MaxStrategy::AllocateInto(const std::vector<MemRequest>& ed_sorted,
+                               PageCount total, AllocationVector* out_vec,
+                               StableTailHint* hint) const {
+  out_vec->assign(ed_sorted.size(), 0);
+  AllocationVector& out = *out_vec;
   PageCount remaining = total;
   size_t frontier = ed_sorted.size();
   for (size_t i = 0; i < ed_sorted.size(); ++i) {
@@ -75,7 +84,6 @@ AllocationVector MaxStrategy::AllocateWithHint(
   hint->from = frontier;
   hint->spare_min = -1;
   hint->spare_max = remaining;
-  return out;
 }
 
 std::string MaxStrategy::name() const {
@@ -91,7 +99,16 @@ AllocationVector MinMaxStrategy::Allocate(
 AllocationVector MinMaxStrategy::AllocateWithHint(
     const std::vector<MemRequest>& ed_sorted, PageCount total,
     StableTailHint* hint) const {
-  AllocationVector out(ed_sorted.size(), 0);
+  AllocationVector result;
+  AllocateInto(ed_sorted, total, &result, hint);
+  return result;
+}
+
+void MinMaxStrategy::AllocateInto(const std::vector<MemRequest>& ed_sorted,
+                                  PageCount total, AllocationVector* out_vec,
+                                  StableTailHint* hint) const {
+  out_vec->assign(ed_sorted.size(), 0);
+  AllocationVector& out = *out_vec;
   size_t limit = mpl_limit_ < 0
                      ? ed_sorted.size()
                      : std::min<size_t>(ed_sorted.size(),
@@ -128,7 +145,6 @@ AllocationVector MinMaxStrategy::AllocateWithHint(
     out[i] += grant;
     remaining -= grant;
   }
-  return out;
 }
 
 std::string MinMaxStrategy::name() const {
@@ -145,7 +161,16 @@ AllocationVector ProportionalStrategy::Allocate(
 AllocationVector ProportionalStrategy::AllocateWithHint(
     const std::vector<MemRequest>& ed_sorted, PageCount total,
     StableTailHint* hint) const {
-  AllocationVector out(ed_sorted.size(), 0);
+  AllocationVector result;
+  AllocateInto(ed_sorted, total, &result, hint);
+  return result;
+}
+
+void ProportionalStrategy::AllocateInto(
+    const std::vector<MemRequest>& ed_sorted, PageCount total,
+    AllocationVector* out_vec, StableTailHint* hint) const {
+  out_vec->assign(ed_sorted.size(), 0);
+  AllocationVector& out = *out_vec;
   size_t limit = mpl_limit_ < 0
                      ? ed_sorted.size()
                      : std::min<size_t>(ed_sorted.size(),
@@ -168,7 +193,7 @@ AllocationVector ProportionalStrategy::AllocateWithHint(
           ? -1
           : total - min_sum;
   hint->spare_max = -1;
-  if (admitted == 0) return out;
+  if (admitted == 0) return;
 
   // Find the largest fraction f in [0, 1] such that
   //   sum_i max(min_i, f * max_i) <= total.
@@ -203,7 +228,6 @@ AllocationVector ProportionalStrategy::AllocateWithHint(
                           lo * static_cast<double>(q.max_memory)));
     out[i] = std::min(alloc, q.max_memory);
   }
-  return out;
 }
 
 std::string ProportionalStrategy::name() const {

@@ -69,6 +69,17 @@ class AllocationStrategy {
     return Allocate(ed_sorted, total);
   }
 
+  /// Like AllocateWithHint(), but writes the result into `*out` (sized to
+  /// the input), letting the caller reuse one scratch vector across
+  /// recomputes so steady-state reallocation allocates nothing. The
+  /// built-in strategies implement this as their core; the default
+  /// delegates, so third-party strategies stay correct without opting in.
+  virtual void AllocateInto(const std::vector<MemRequest>& ed_sorted,
+                            PageCount total, AllocationVector* out,
+                            StableTailHint* hint) const {
+    *out = AllocateWithHint(ed_sorted, total, hint);
+  }
+
   virtual std::string name() const = 0;
 };
 
@@ -104,6 +115,9 @@ class MaxStrategy : public AllocationStrategy {
   AllocationVector AllocateWithHint(const std::vector<MemRequest>& ed_sorted,
                                     PageCount total,
                                     StableTailHint* hint) const override;
+  void AllocateInto(const std::vector<MemRequest>& ed_sorted, PageCount total,
+                    AllocationVector* out,
+                    StableTailHint* hint) const override;
   std::string name() const override;
 
  private:
@@ -120,6 +134,9 @@ class MinMaxStrategy : public AllocationStrategy {
   AllocationVector AllocateWithHint(const std::vector<MemRequest>& ed_sorted,
                                     PageCount total,
                                     StableTailHint* hint) const override;
+  void AllocateInto(const std::vector<MemRequest>& ed_sorted, PageCount total,
+                    AllocationVector* out,
+                    StableTailHint* hint) const override;
   std::string name() const override;
 
   int64_t mpl_limit() const { return mpl_limit_; }
@@ -139,6 +156,9 @@ class ProportionalStrategy : public AllocationStrategy {
   AllocationVector AllocateWithHint(const std::vector<MemRequest>& ed_sorted,
                                     PageCount total,
                                     StableTailHint* hint) const override;
+  void AllocateInto(const std::vector<MemRequest>& ed_sorted, PageCount total,
+                    AllocationVector* out,
+                    StableTailHint* hint) const override;
   std::string name() const override;
 
  private:

@@ -66,6 +66,14 @@ class MetricsCollector {
   void UpdateMpl(SimTime now, int64_t mpl);
   void SampleMpl(SimTime now, int64_t mpl);
 
+  /// Pre-grows the record and MPL-sample buffers so that recording up to
+  /// `completions` / `samples` entries performs no reallocation (the
+  /// steady-state zero-allocation gate measures across Record calls).
+  void Reserve(size_t completions, size_t samples) {
+    records_.reserve(completions);
+    mpl_samples_.reserve(samples);
+  }
+
   const std::vector<CompletionRecord>& records() const { return records_; }
   const std::vector<TimeSample>& mpl_samples() const { return mpl_samples_; }
 

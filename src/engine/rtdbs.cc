@@ -29,14 +29,13 @@ class Rtdbs::QueryContext : public exec::ExecContext {
 
   SimTime Now() const override { return sys_->sim_.Now(); }
 
-  void RunCpu(Instructions instructions,
-              std::function<void()> done) override {
+  void RunCpu(Instructions instructions, exec::DoneCallback done) override {
     sys_->cpu_->Submit(
         model::CpuJob{id_, deadline_, instructions, std::move(done)});
   }
 
   void Read(DiskId disk, PageCount start, PageCount pages,
-            std::function<void()> done) override {
+            exec::DoneCallback done) override {
     RTQ_DCHECK(disk >= 0 &&
                disk < static_cast<DiskId>(sys_->disks_.size()));
     if (sys_->CacheCovers(disk, start, pages)) {
@@ -61,7 +60,7 @@ class Rtdbs::QueryContext : public exec::ExecContext {
           req.pages = pages;
           req.is_write = false;
           req.on_complete = [sys, disk, start, pages,
-                             done = std::move(done)]() {
+                             done = std::move(done)]() mutable {
             sys->CacheInsert(disk, start, pages);
             done();
           };
@@ -70,7 +69,7 @@ class Rtdbs::QueryContext : public exec::ExecContext {
   }
 
   void Write(DiskId disk, PageCount start, PageCount pages,
-             std::function<void()> done, bool background) override {
+             exec::DoneCallback done, bool background) override {
     RTQ_DCHECK(disk >= 0 &&
                disk < static_cast<DiskId>(sys_->disks_.size()));
     Rtdbs* sys = sys_;
@@ -282,9 +281,8 @@ core::PolicyHost Rtdbs::MakePolicyHost() {
 }
 
 workload::ArrivalSource::Sink Rtdbs::MakeSink() {
-  return [this](exec::QueryDescriptor desc,
-                std::unique_ptr<exec::Operator> op) {
-    OnArrival(std::move(desc), std::move(op));
+  return [this](const workload::QueryBlueprint& bp, QueryId id) {
+    OnArrival(bp, id);
   };
 }
 
@@ -374,18 +372,60 @@ void Rtdbs::ScheduleMplSampler() {
   });
 }
 
-void Rtdbs::OnArrival(exec::QueryDescriptor desc,
-                      std::unique_ptr<exec::Operator> op) {
-  QueryId id = desc.id;
-  auto rt = std::make_unique<QueryRuntime>();
+Rtdbs::QueryRuntime* Rtdbs::AcquireRuntime() {
+  if (!free_runtimes_.empty()) {
+    QueryRuntime* rt = free_runtimes_.back();
+    free_runtimes_.pop_back();
+    ++runtimes_recycled_;
+    return rt;
+  }
+  runtime_storage_.push_back(std::make_unique<QueryRuntime>());
+  return runtime_storage_.back().get();
+}
+
+void Rtdbs::PurgeRetired() {
+  if (retired_.empty()) return;
+  // events_dispatched() only advances AFTER an event's callback returns,
+  // so any runtime parked at an earlier count has fully unwound its
+  // retiring event's stack and nothing can still reference it.
+  const uint64_t fence = sim_.events_dispatched();
+  size_t i = 0;
+  while (i < retired_.size()) {
+    QueryRuntime* rt = retired_[i];
+    if (rt->parked_at < fence) {
+      rt->arena.Reset();  // runs operator/context destructors
+      rt->op = nullptr;
+      rt->ctx = nullptr;
+      rt->deadline_event = sim::kInvalidEventId;
+      rt->allocation = 0;
+      rt->admitted_once = false;
+      rt->first_admit = 0.0;
+      rt->fluctuations = 0;
+      rt->finished = false;
+      rt->parked_at = 0;
+      free_runtimes_.push_back(rt);
+      retired_[i] = retired_.back();
+      retired_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Rtdbs::OnArrival(const workload::QueryBlueprint& bp, QueryId id) {
+  PurgeRetired();
+  QueryRuntime* rt = AcquireRuntime();
+  workload::BuiltQueryRefs built = workload::BuildQueryInArena(
+      bp, id, *db_, config_.exec, config_.disk, config_.mips, &rt->arena);
+  const exec::QueryDescriptor& desc = built.desc;
   rt->desc = desc;
-  rt->op = std::move(op);
-  rt->ctx = std::make_unique<QueryContext>(this, id, desc.deadline);
+  rt->op = built.op;
+  rt->ctx = rt->arena.New<QueryContext>(this, id, desc.deadline);
   rt->op->on_finished = [this, id] { OnOperatorFinished(id); };
   rt->deadline_event =
       sim_.ScheduleAt(desc.deadline, [this, id] { OnDeadline(id); });
 
-  auto [it, inserted] = runtimes_.emplace(id, std::move(rt));
+  auto [it, inserted] = runtimes_.emplace(id, rt);
   RTQ_CHECK_MSG(inserted, "duplicate query id at arrival");
   (void)it;
 
@@ -402,8 +442,9 @@ void Rtdbs::OnArrival(exec::QueryDescriptor desc,
   req.operand_pages = desc.operand_pages;
   // Live progress signal for feasibility policies. The counters live in
   // the operator, whose QueryRuntime outlives the mm_ registration:
-  // FinishQuery parks the runtime in retired_ before RemoveQuery runs.
-  req.pages_read = &it->second->op->counters().pages_read;
+  // FinishQuery parks the runtime in retired_ before RemoveQuery runs,
+  // and retired runtimes are only recycled at a later event.
+  req.pages_read = &rt->op->counters().pages_read;
   mm_->AddQuery(req);
   UpdateMplSignal();
 
@@ -427,7 +468,8 @@ void Rtdbs::ApplyAllocation(QueryId id, PageCount pages) {
   if (pages == rt.allocation) return;
   if (const char* tq = std::getenv("RTQ_TRACE_QUERY")) {
     if (static_cast<QueryId>(std::atoll(tq)) == id) {
-      std::fprintf(stderr, "[trace] t=%.1f q%llu alloc %lld -> %lld (max=%lld)\n",
+      std::fprintf(stderr,
+                   "[trace] t=%.1f q%llu alloc %lld -> %lld (max=%lld)\n",
                    sim_.Now(), (unsigned long long)id,
                    (long long)rt.allocation, (long long)pages,
                    (long long)rt.desc.max_memory);
@@ -447,7 +489,7 @@ void Rtdbs::ApplyAllocation(QueryId id, PageCount pages) {
       rt.admitted_once = true;
       rt.first_admit = sim_.Now();
       rt.op->SetAllocation(pages);
-      rt.op->Start(rt.ctx.get());
+      rt.op->Start(rt.ctx);
     }
   } else {
     rt.op->SetAllocation(pages);
@@ -470,9 +512,10 @@ void Rtdbs::OnDeadline(QueryId id) {
 }
 
 void Rtdbs::FinishQuery(QueryId id, bool missed) {
+  PurgeRetired();
   auto it = runtimes_.find(id);
   RTQ_CHECK_MSG(it != runtimes_.end(), "finishing unknown query");
-  std::unique_ptr<QueryRuntime> rt = std::move(it->second);
+  QueryRuntime* rt = it->second;
   runtimes_.erase(it);
   rt->finished = true;
 
@@ -500,8 +543,11 @@ void Rtdbs::FinishQuery(QueryId id, bool missed) {
   rec.pages_written = rt->op->counters().pages_written;
   metrics_.Record(rec);
 
-  // Park the runtime: the operator may still be on the call stack.
-  retired_.push_back(std::move(rt));
+  // Park the runtime: the operator may still be on the call stack. It is
+  // recycled (arena reset, returned to the free list) by PurgeRetired()
+  // once a later event is dispatching.
+  rt->parked_at = sim_.events_dispatched();
+  retired_.push_back(rt);
 
   mm_->RemoveQuery(id);
   UpdateMplSignal();
@@ -520,13 +566,18 @@ void Rtdbs::UpdateMplSignal() {
 bool Rtdbs::CacheCovers(DiskId disk, PageCount start, PageCount pages) {
   buffer::LruCache& cache = pool_->page_cache();
   if (cache.capacity() == 0) return false;
+  // One hash per page: collect handles, then promote them only on full
+  // coverage. Counter semantics match the historical Contains-then-Lookup
+  // double scan exactly (no miss recorded on partial coverage, one hit
+  // per page on full coverage, promotion in ascending page order).
+  cache_scratch_.clear();
   for (PageCount p = start; p < start + pages; ++p) {
-    if (!cache.Contains(buffer::BufferPool::PageKey(disk, p))) return false;
+    buffer::LruCache::Handle h =
+        cache.Find(buffer::BufferPool::PageKey(disk, p));
+    if (h == buffer::LruCache::kNullHandle) return false;
+    cache_scratch_.push_back(h);
   }
-  // Touch all pages to promote them.
-  for (PageCount p = start; p < start + pages; ++p) {
-    cache.Lookup(buffer::BufferPool::PageKey(disk, p));
-  }
+  for (buffer::LruCache::Handle h : cache_scratch_) cache.Touch(h);
   return true;
 }
 
@@ -564,7 +615,7 @@ void Rtdbs::AppendStateDigest(std::vector<std::string>* out) const {
   // runtimes_ is an unordered map; digest lines must not depend on its
   // iteration order.
   std::map<QueryId, const QueryRuntime*> live;
-  for (const auto& [id, rt] : runtimes_) live.emplace(id, rt.get());
+  for (const auto& [id, rt] : runtimes_) live.emplace(id, rt);
   out->push_back("queries " + std::to_string(live.size()));
   for (const auto& [id, rt] : live) {
     out->push_back("query " + std::to_string(id) + " " +

@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "buffer/buffer_pool.h"
+#include "common/arena.h"
 #include "common/check.h"
+#include "common/pool.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/memory_manager.h"
@@ -121,6 +123,9 @@ class Rtdbs {
   core::MemoryManager& memory_manager() { return *mm_; }
   const storage::Database& database() const { return *db_; }
   const MetricsCollector& metrics() const { return metrics_; }
+  /// Mutable access for hosts that pre-size the metrics buffers (e.g.
+  /// the zero-allocation gate calls Reserve before measuring).
+  MetricsCollector& mutable_metrics() { return metrics_; }
   buffer::BufferPool& buffer_pool() { return *pool_; }
   /// The active memory policy (resolved from the config's spec string).
   const core::MemoryPolicy& policy() const { return *policy_; }
@@ -135,21 +140,37 @@ class Rtdbs {
   int64_t live_queries() const {
     return static_cast<int64_t>(runtimes_.size());
   }
+  /// Finished runtimes parked awaiting recycling (bounded: drained at the
+  /// next arrival/completion once their dispatch event has unwound).
+  int64_t retired_runtimes() const {
+    return static_cast<int64_t>(retired_.size());
+  }
+  /// Lifetime count of runtime recycles (arena reset + reuse).
+  int64_t runtimes_recycled() const { return runtimes_recycled_; }
 
  private:
   class QueryContext;
   class ProbeImpl;
 
+  /// Per-query runtime state. Everything with query lifetime — the
+  /// operator tree, the QueryContext, operator scratch — lives in the
+  /// runtime's own arena and is reclaimed as a unit (Arena::Reset) when
+  /// the runtime is recycled, so steady-state query turnover performs no
+  /// heap allocation.
   struct QueryRuntime {
+    Arena arena;
     exec::QueryDescriptor desc;
-    std::unique_ptr<exec::Operator> op;
-    std::unique_ptr<QueryContext> ctx;
+    exec::Operator* op = nullptr;  // arena-owned
+    QueryContext* ctx = nullptr;   // arena-owned
     sim::EventId deadline_event = sim::kInvalidEventId;
     PageCount allocation = 0;
     bool admitted_once = false;
     SimTime first_admit = 0.0;
     int64_t fluctuations = 0;
     bool finished = false;
+    /// events_dispatched() at retire time; recyclable once a later event
+    /// is dispatching (the retiring event's stack has fully unwound).
+    uint64_t parked_at = 0;
   };
 
   explicit Rtdbs(const SystemConfig& config);
@@ -161,8 +182,14 @@ class Rtdbs {
   core::PolicyHost MakePolicyHost();
   workload::ArrivalSource::Sink MakeSink();
 
-  void OnArrival(exec::QueryDescriptor desc,
-                 std::unique_ptr<exec::Operator> op);
+  /// Pops a recycled runtime (or heap-allocates the pool's first copy).
+  QueryRuntime* AcquireRuntime();
+  /// Drains retired_ entries whose dispatch event has unwound: runs the
+  /// arena finalizers (operator destructors), resets the arena, and
+  /// returns the runtime to the free list.
+  void PurgeRetired();
+
+  void OnArrival(const workload::QueryBlueprint& bp, QueryId id);
   void ApplyAllocation(QueryId id, PageCount pages);
   void OnOperatorFinished(QueryId id);
   void OnDeadline(QueryId id);
@@ -189,9 +216,27 @@ class Rtdbs {
   std::unique_ptr<workload::ArrivalSource> source_;
   MetricsCollector metrics_;
 
-  std::unordered_map<QueryId, std::unique_ptr<QueryRuntime>> runtimes_;
-  /// Finished runtimes are parked here (not destroyed mid-callback).
-  std::vector<std::unique_ptr<QueryRuntime>> retired_;
+  /// Node pool for the engine's hot containers; declared before them so
+  /// they are destroyed first.
+  NodePool node_pool_;
+  /// Owns every QueryRuntime ever created; grows to the live+retired
+  /// high-water mark, then every query reuses a recycled runtime.
+  std::vector<std::unique_ptr<QueryRuntime>> runtime_storage_;
+  std::vector<QueryRuntime*> free_runtimes_;
+  int64_t runtimes_recycled_ = 0;
+
+  using RuntimePair = std::pair<const QueryId, QueryRuntime*>;
+  using RuntimeMap =
+      std::unordered_map<QueryId, QueryRuntime*, std::hash<QueryId>,
+                         std::equal_to<QueryId>, PoolAllocator<RuntimePair>>;
+  RuntimeMap runtimes_{
+      8, std::hash<QueryId>(), std::equal_to<QueryId>(),
+      PoolAllocator<std::pair<const QueryId, QueryRuntime*>>(&node_pool_)};
+  /// Finished runtimes are parked here (not destroyed mid-callback) and
+  /// recycled by PurgeRetired() once their event has unwound.
+  std::vector<QueryRuntime*> retired_;
+  /// Scratch for CacheCovers' one-hash-per-page hit path.
+  std::vector<buffer::LruCache::Handle> cache_scratch_;
   /// Swapped-out sources and policies are parked, not destroyed: their
   /// already-scheduled events still hold `this` captures and must fire
   /// (as no-ops) to keep event counts replay-identical.

@@ -9,13 +9,18 @@
 #ifndef RTQ_EXEC_EXEC_CONTEXT_H_
 #define RTQ_EXEC_EXEC_CONTEXT_H_
 
-#include <functional>
-
+#include "common/inline_callback.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "storage/temp_space.h"
 
 namespace rtq::exec {
+
+/// Continuation passed to the asynchronous ExecContext services. Inline
+/// small-buffer (no heap): operator continuations capture only `this`,
+/// and 24 bytes leaves room for a small extra word in mocks. Oversized
+/// captures fail to compile (common/inline_callback.h).
+using DoneCallback = InlineCallback<24>;
 
 class ExecContext {
  public:
@@ -26,20 +31,19 @@ class ExecContext {
   /// Executes `instructions` on the CPU (ED-scheduled, preemptible), then
   /// invokes `done`. Implementations add the per-request start-I/O CPU
   /// charge to Read/Write themselves; callers only pass algorithmic work.
-  virtual void RunCpu(Instructions instructions,
-                      std::function<void()> done) = 0;
+  virtual void RunCpu(Instructions instructions, DoneCallback done) = 0;
 
   /// Reads `pages` consecutive pages starting at `start_page` on `disk`,
   /// then invokes `done`.
   virtual void Read(DiskId disk, PageCount start_page, PageCount pages,
-                    std::function<void()> done) = 0;
+                    DoneCallback done) = 0;
 
   /// Writes `pages` consecutive pages starting at `start_page` on `disk`,
   /// then invokes `done`. `background` writes carry the lowest scheduling
   /// priority (spool traffic must never delay deadline-critical reads —
   /// PPHJ's "priority spooling").
   virtual void Write(DiskId disk, PageCount start_page, PageCount pages,
-                     std::function<void()> done, bool background) = 0;
+                     DoneCallback done, bool background) = 0;
 
   /// Allocates / frees temp-file extents (inner/outer cylinders).
   virtual StatusOr<storage::TempFile> AllocateTemp(PageCount pages,

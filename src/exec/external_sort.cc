@@ -19,8 +19,9 @@ int64_t Log2Ceil(int64_t n) {
 }
 }  // namespace
 
-ExternalSort::ExternalSort(const ExecParams& params, const Inputs& inputs)
-    : params_(params), in_(inputs) {
+ExternalSort::ExternalSort(const ExecParams& params, const Inputs& inputs,
+                           Arena* arena)
+    : params_(params), in_(inputs), runs_(ArenaAllocator<PageCount>(arena)) {
   RTQ_CHECK_MSG(params.Validate().ok(), "invalid exec params");
   RTQ_CHECK_MSG(inputs.pages > 0, "sort operand must be non-empty");
 }

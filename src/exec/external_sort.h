@@ -21,6 +21,7 @@
 #include <deque>
 #include <optional>
 
+#include "common/arena.h"
 #include "common/types.h"
 #include "exec/cost_model.h"
 #include "exec/operator.h"
@@ -35,7 +36,10 @@ class ExternalSort : public OperatorBase {
     PageCount pages = 0;
   };
 
-  ExternalSort(const ExecParams& params, const Inputs& inputs);
+  /// `arena`, when non-null, backs the run-length deque so a query built
+  /// into an arena performs no heap allocation; nullptr uses the heap.
+  ExternalSort(const ExecParams& params, const Inputs& inputs,
+               Arena* arena = nullptr);
 
   PageCount min_memory() const override { return 3; }
   PageCount max_memory() const override { return in_.pages; }
@@ -95,7 +99,8 @@ class ExternalSort : public OperatorBase {
   double pend_write_ = 0.0;
 
   // Merge state.
-  std::deque<PageCount> runs_;  // lengths of runs awaiting merging
+  /// Lengths of runs awaiting merging (arena-backed when available).
+  std::deque<PageCount, ArenaAllocator<PageCount>> runs_;
   bool merging_active_ = false;
   int64_t step_fan_ = 0;          // fan-in of the in-progress step
   PageCount step_total_ = 0;      // input pages of the in-progress step

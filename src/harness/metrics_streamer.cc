@@ -28,11 +28,16 @@ void MetricsStreamer::Emit(engine::Rtdbs& sys, double wall_seconds) {
   core::MemoryManager& mm = sys.memory_manager();
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").String("rtq-serve-metrics-1");
+  w.Key("schema").String("rtq-serve-metrics-2");
   w.Key("t").Number(sys.simulator().Now());
   w.Key("events").Int(static_cast<int64_t>(events));
   w.Key("pending").Int(static_cast<int64_t>(sys.simulator().pending_events()));
   w.Key("live").Int(sys.live_queries());
+  // Runtime-recycling health (schema v2): `retired` is the instantaneous
+  // parked-awaiting-reuse count (bounded; a growing value would signal a
+  // purge bug), `recycled` the lifetime number of arena-reset reuses.
+  w.Key("retired").Int(sys.retired_runtimes());
+  w.Key("recycled").Int(sys.runtimes_recycled());
   w.Key("admitted").Int(mm.admitted_count());
   w.Key("waiting").Int(mm.waiting_count());
   w.Key("generated").Int(sys.arrivals().generated());

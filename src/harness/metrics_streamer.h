@@ -9,14 +9,18 @@
 // length, so a soak test can stream for hours.
 //
 // Line schema (field order fixed; schema bumps on any change):
-//   {"schema":"rtq-serve-metrics-1","t":<sim seconds>,"events":<n>,
-//    "pending":<n>,"live":<n>,"admitted":<n>,"waiting":<n>,
+//   {"schema":"rtq-serve-metrics-2","t":<sim seconds>,"events":<n>,
+//    "pending":<n>,"live":<n>,"retired":<n>,"recycled":<n>,
+//    "admitted":<n>,"waiting":<n>,
 //    "generated":<n>,"completed":<n>,"missed":<n>,"miss_ratio":<r>,
 //    "d_completed":<n>,"d_missed":<n>,"allocated_pages":<n>,
 //    "policy":"<spec>","wall_seconds":<s>,"events_per_sec":<r>}
 //
 // "events_per_sec" is the wall-clock dispatch rate over the delta
 // window (null on the first line and in windows with no wall time).
+// v2 added "retired"/"recycled": the query-runtime recycling gauges
+// (parked runtimes awaiting reuse, lifetime arena-reset reuses) that
+// back the allocation-free steady state.
 
 #ifndef RTQ_HARNESS_METRICS_STREAMER_H_
 #define RTQ_HARNESS_METRICS_STREAMER_H_

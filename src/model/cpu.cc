@@ -24,12 +24,13 @@ void Cpu::Submit(CpuJob job) {
                               std::move(job.on_complete)});
   // Preemption only for strictly earlier deadlines: a deadline tie is not
   // worth a context switch, so ties run the incumbent to completion.
-  if (running_ && job.deadline < running_key_.deadline) PreemptRunning();
+  if (running_ && job.deadline < running_it_->first.deadline)
+    PreemptRunning();
   if (!running_) Dispatch();
 }
 
 int64_t Cpu::CancelQuery(QueryId query) {
-  if (running_ && running_key_.query == query) PreemptRunning();
+  if (running_ && running_it_->first.query == query) PreemptRunning();
   int64_t removed = 0;
   for (auto it = jobs_.begin(); it != jobs_.end();) {
     if (it->first.query == query) {
@@ -45,8 +46,7 @@ int64_t Cpu::CancelQuery(QueryId query) {
 
 void Cpu::PreemptRunning() {
   RTQ_DCHECK(running_);
-  auto it = jobs_.find(running_key_);
-  RTQ_DCHECK(it != jobs_.end());
+  auto it = running_it_;
   double executed = (sim_->Now() - running_since_) * mips_ * 1e6;
   it->second.remaining_instructions -= executed;
   if (it->second.remaining_instructions < 0.0) {
@@ -64,7 +64,7 @@ void Cpu::Dispatch() {
   if (jobs_.empty()) return;
   auto it = jobs_.begin();
   running_ = true;
-  running_key_ = it->first;
+  running_it_ = it;
   running_since_ = sim_->Now();
   busy_.Update(sim_->Now(), 1.0);
   SimTime duration = it->second.remaining_instructions / (mips_ * 1e6);
@@ -74,10 +74,8 @@ void Cpu::Dispatch() {
 
 void Cpu::OnJobComplete() {
   RTQ_DCHECK(running_);
-  auto it = jobs_.find(running_key_);
-  RTQ_DCHECK(it != jobs_.end());
-  auto callback = std::move(it->second.on_complete);
-  jobs_.erase(it);
+  auto callback = std::move(running_it_->second.on_complete);
+  jobs_.erase(running_it_);
   running_ = false;
   completion_event_ = sim::kInvalidEventId;
   ++completed_jobs_;

@@ -11,14 +11,20 @@
 #define RTQ_MODEL_CPU_H_
 
 #include <cstdint>
-#include <functional>
 #include <map>
 
+#include "common/inline_callback.h"
+#include "common/pool.h"
 #include "common/types.h"
 #include "sim/simulator.h"
 #include "stats/time_weighted.h"
 
 namespace rtq::model {
+
+/// Completion continuation. 80 bytes holds the engine's widest submit
+/// capture (the read-miss chain in engine/rtdbs.cc) without touching the
+/// heap; bigger captures fail to compile (common/inline_callback.h).
+using CpuCallback = InlineCallback<80>;
 
 struct CpuJob {
   QueryId query = kInvalidQueryId;
@@ -26,7 +32,7 @@ struct CpuJob {
   SimTime deadline = kNoDeadline;
   Instructions instructions = 0;
   /// Invoked when the job's instruction budget has been executed.
-  std::function<void()> on_complete;
+  CpuCallback on_complete;
 };
 
 class Cpu {
@@ -71,7 +77,7 @@ class Cpu {
   };
   struct JobState {
     double remaining_instructions;
-    std::function<void()> on_complete;
+    CpuCallback on_complete;
   };
 
   /// Suspends the running job, crediting executed instructions.
@@ -83,9 +89,19 @@ class Cpu {
   sim::Simulator* sim_;
   double mips_;
 
-  std::map<JobKey, JobState> jobs_;  // ordered: begin() = highest priority
+  // Pool before containers: containers must be destroyed first.
+  NodePool pool_;
+  using JobMap =
+      std::map<JobKey, JobState, std::less<JobKey>,
+               PoolAllocator<std::pair<const JobKey, JobState>>>;
+  JobMap jobs_{std::less<JobKey>(),
+               PoolAllocator<std::pair<const JobKey, JobState>>(
+                   &pool_)};  // ordered: begin() = highest priority
   bool running_ = false;
-  JobKey running_key_{};
+  /// Iterator to the running job. Map iterators stay valid across
+  /// inserts and unrelated erases, so completion/preemption need no
+  /// re-lookup by key.
+  JobMap::iterator running_it_{};
   SimTime running_since_ = 0.0;
   sim::EventId completion_event_ = sim::kInvalidEventId;
   uint64_t next_seq_ = 0;

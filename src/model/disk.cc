@@ -1,7 +1,9 @@
 #include "model/disk.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
+#include <new>
 #include <utility>
 
 #include "common/check.h"
@@ -13,15 +15,100 @@ namespace {
 /// paper does not give a figure; 0.5 ms per request is negligible against
 /// a ~12 ms access, which is all that matters for the model.
 constexpr SimTime kCacheHitTime = 0.5e-3;
+
+/// Lowest set bit index >= `from`, or -1 when none.
+int64_t FindSetAtOrAbove(const uint64_t* bits, size_t words, int64_t from) {
+  size_t w = static_cast<size_t>(from) >> 6;
+  if (w >= words) return -1;
+  uint64_t word = bits[w] & (~uint64_t{0} << (from & 63));
+  while (true) {
+    if (word != 0)
+      return static_cast<int64_t>((w << 6) + __builtin_ctzll(word));
+    if (++w == words) return -1;
+    word = bits[w];
+  }
+}
+
+/// Highest set bit index <= `from`, or -1 when none.
+int64_t FindSetAtOrBelow(const uint64_t* bits, int64_t from) {
+  size_t w = static_cast<size_t>(from) >> 6;
+  uint64_t word = bits[w] & (~uint64_t{0} >> (63 - (from & 63)));
+  while (true) {
+    if (word != 0)
+      return static_cast<int64_t>((w << 6) + 63 - __builtin_clzll(word));
+    if (w == 0) return -1;
+    word = bits[--w];
+  }
+}
 }  // namespace
 
 Disk::Disk(sim::Simulator* sim, const DiskParams& params, DiskId id)
     : sim_(sim),
       geometry_(params),
       cache_(params.cache_pages),
-      id_(id) {
+      id_(id),
+      bitmap_words_(
+          (static_cast<size_t>(params.num_cylinders) + 63) / 64) {
   RTQ_CHECK(sim != nullptr);
+  groups_.reserve(64);
   busy_.Start(sim->Now(), 0.0);
+}
+
+Disk::~Disk() {
+  // Destroy every still-queued request (their callbacks may own
+  // non-trivial captures), then release the group arrays.
+  for (auto& [deadline, group] : groups_) {
+    (void)deadline;
+    for (size_t w = 0; w < bitmap_words_; ++w) {
+      uint64_t word = group->bits[w];
+      while (word != 0) {
+        Cylinder cyl =
+            static_cast<Cylinder>((w << 6) + __builtin_ctzll(word));
+        word &= word - 1;
+        RequestNode* head = group->heads[cyl];
+        RequestNode* n = head;
+        do {
+          RequestNode* next = n->fifo_next;
+          n->~RequestNode();
+          pool_.Deallocate(n, sizeof(RequestNode));
+          n = next;
+        } while (n != head);
+      }
+    }
+    group->next_free = free_groups_;
+    free_groups_ = group;
+  }
+  groups_.clear();
+  while (free_groups_ != nullptr) {
+    DeadlineGroup* g = free_groups_;
+    free_groups_ = g->next_free;
+    delete[] g->bits;
+    delete[] g->heads;
+    delete g;
+  }
+}
+
+Disk::DeadlineGroup* Disk::GroupFor(SimTime deadline) {
+  auto it = std::lower_bound(
+      groups_.begin(), groups_.end(), deadline,
+      [](const std::pair<SimTime, DeadlineGroup*>& a, SimTime b) {
+        return a.first < b;
+      });
+  if (it != groups_.end() && it->first == deadline) return it->second;
+  DeadlineGroup* g = free_groups_;
+  if (g != nullptr) {
+    free_groups_ = g->next_free;
+  } else {
+    g = new DeadlineGroup;
+    g->bits = new uint64_t[bitmap_words_];
+    g->heads = new RequestNode*[static_cast<size_t>(
+        geometry_.params().num_cylinders)];
+  }
+  std::memset(g->bits, 0, bitmap_words_ * sizeof(uint64_t));
+  g->count = 0;
+  g->next_free = nullptr;
+  groups_.insert(it, {deadline, g});
+  return g;
 }
 
 void Disk::Submit(DiskRequest request) {
@@ -30,19 +117,96 @@ void Disk::Submit(DiskRequest request) {
       request.start_page >= 0 &&
           request.start_page + request.pages <= geometry_.params().capacity(),
       "disk request outside disk capacity");
-  QueueKey key{request.deadline, geometry_.CylinderOf(request.start_page),
-               submit_seq_++};
-  by_query_[request.query].push_back(key);
-  queue_.emplace(key, std::move(request));
+  const Cylinder cyl = geometry_.CylinderOf(request.start_page);
+  const SimTime deadline = request.deadline;
+  const QueryId query = request.query;
+
+  auto* node =
+      static_cast<RequestNode*>(pool_.Allocate(sizeof(RequestNode)));
+  ::new (static_cast<void*>(node)) RequestNode{
+      std::move(request), nullptr, nullptr, nullptr, nullptr, nullptr, cyl};
+
+  DeadlineGroup* g = GroupFor(deadline);
+  node->group = g;
+  const size_t w = static_cast<size_t>(cyl) >> 6;
+  const uint64_t bit = uint64_t{1} << (cyl & 63);
+  if ((g->bits[w] & bit) == 0) {
+    g->bits[w] |= bit;
+    g->heads[cyl] = node;
+    node->fifo_prev = node;
+    node->fifo_next = node;
+  } else {
+    RequestNode* head = g->heads[cyl];
+    RequestNode* tail = head->fifo_prev;
+    tail->fifo_next = node;
+    node->fifo_prev = tail;
+    node->fifo_next = head;
+    head->fifo_prev = node;
+  }
+  ++g->count;
+  ++queued_count_;
+
+  auto [it, inserted] = by_query_.try_emplace(query, nullptr);
+  (void)inserted;
+  node->query_next = it->second;
+  if (node->query_next != nullptr) node->query_next->query_prev = node;
+  it->second = node;
+
   if (!in_service_) StartNext();
+}
+
+void Disk::RemoveFromQueue(RequestNode* node) {
+  DeadlineGroup* g = node->group;
+  const Cylinder cyl = node->cyl;
+  if (node->fifo_next == node) {
+    g->bits[static_cast<size_t>(cyl) >> 6] &= ~(uint64_t{1} << (cyl & 63));
+  } else {
+    node->fifo_prev->fifo_next = node->fifo_next;
+    node->fifo_next->fifo_prev = node->fifo_prev;
+    if (g->heads[cyl] == node) g->heads[cyl] = node->fifo_next;
+  }
+  --queued_count_;
+  if (--g->count == 0) {
+    const SimTime deadline = node->req.deadline;
+    auto it = std::lower_bound(
+        groups_.begin(), groups_.end(), deadline,
+        [](const std::pair<SimTime, DeadlineGroup*>& a, SimTime b) {
+          return a.first < b;
+        });
+    RTQ_DCHECK(it != groups_.end() && it->second == g);
+    groups_.erase(it);
+    g->next_free = free_groups_;
+    free_groups_ = g;
+  }
+}
+
+void Disk::UnlinkQueryList(RequestNode* node) {
+  if (node->query_next != nullptr)
+    node->query_next->query_prev = node->query_prev;
+  if (node->query_prev != nullptr) {
+    node->query_prev->query_next = node->query_next;
+  } else {
+    // Head of the query's list: move the map entry to the successor, or
+    // drop the entry when this was the query's last queued request.
+    if (node->query_next != nullptr) {
+      by_query_[node->req.query] = node->query_next;
+    } else {
+      by_query_.erase(node->req.query);
+    }
+  }
 }
 
 int64_t Disk::CancelQuery(QueryId query) {
   int64_t removed = 0;
   auto it = by_query_.find(query);
   if (it != by_query_.end()) {
-    for (const QueueKey& key : it->second) {
-      queue_.erase(key);
+    RequestNode* n = it->second;
+    while (n != nullptr) {
+      RequestNode* next = n->query_next;
+      RemoveFromQueue(n);
+      n->~RequestNode();
+      pool_.Deallocate(n, sizeof(RequestNode));
+      n = next;
       ++removed;
     }
     by_query_.erase(it);
@@ -51,58 +215,34 @@ int64_t Disk::CancelQuery(QueryId query) {
   return removed;
 }
 
-void Disk::UnindexRequest(QueryId query, const QueueKey& key) {
-  auto it = by_query_.find(query);
-  RTQ_DCHECK(it != by_query_.end());
-  std::vector<QueueKey>& keys = it->second;
-  for (size_t i = 0; i < keys.size(); ++i) {
-    if (keys[i].seq == key.seq) {
-      keys[i] = keys.back();
-      keys.pop_back();
-      break;
-    }
-  }
-  if (keys.empty()) by_query_.erase(it);
-}
-
-Disk::Queue::iterator Disk::PickByElevator() {
-  RTQ_DCHECK(!queue_.empty());
-  // The earliest-deadline group sits at the front of the key order.
-  const SimTime dl = queue_.begin()->first.deadline;
+Disk::RequestNode* Disk::PickByElevator() {
+  RTQ_DCHECK(!groups_.empty());
+  // The earliest-deadline group sits at the front of the deadline order.
+  DeadlineGroup* g = groups_.front().second;
   // Among requests tied at the earliest deadline, continue the current
   // sweep direction from the head position, reversing when no request
-  // lies ahead: the nearest cylinder at-or-ahead of the head, FIFO
-  // (lowest sequence) within a cylinder.
-  auto pick_in_direction = [&](bool up) -> Queue::iterator {
-    if (up) {
-      auto it = queue_.lower_bound(QueueKey{dl, head_, 0});
-      if (it != queue_.end() && it->first.deadline == dl) return it;
-      return queue_.end();
-    }
-    auto it = queue_.upper_bound(
-        QueueKey{dl, head_, std::numeric_limits<uint64_t>::max()});
-    if (it == queue_.begin()) return queue_.end();
-    --it;
-    if (it->first.deadline != dl) return queue_.end();
-    // `it` is the highest (cylinder, seq) at or below the head; rewind to
-    // the FIFO-first request on that cylinder.
-    return queue_.lower_bound(QueueKey{dl, it->first.cyl, 0});
-  };
-  auto it = pick_in_direction(sweep_up_);
-  if (it == queue_.end()) {
+  // lies ahead: the nearest non-empty cylinder at-or-ahead of the head,
+  // FIFO within a cylinder.
+  Cylinder cyl = sweep_up_
+                     ? FindSetAtOrAbove(g->bits, bitmap_words_, head_)
+                     : FindSetAtOrBelow(g->bits, head_);
+  if (cyl < 0) {
     sweep_up_ = !sweep_up_;
-    it = pick_in_direction(sweep_up_);
+    cyl = sweep_up_ ? FindSetAtOrAbove(g->bits, bitmap_words_, head_)
+                    : FindSetAtOrBelow(g->bits, head_);
   }
-  RTQ_DCHECK(it != queue_.end());
-  return it;
+  RTQ_DCHECK(cyl >= 0);
+  return g->heads[cyl];
 }
 
 void Disk::StartNext() {
-  if (queue_.empty()) return;
-  auto it = PickByElevator();
-  current_ = std::move(it->second);
-  UnindexRequest(current_.query, it->first);
-  queue_.erase(it);
+  if (queued_count_ == 0) return;
+  RequestNode* node = PickByElevator();
+  current_ = std::move(node->req);
+  RemoveFromQueue(node);
+  UnlinkQueryList(node);
+  node->~RequestNode();
+  pool_.Deallocate(node, sizeof(RequestNode));
   current_cancelled_ = false;
   in_service_ = true;
   busy_.Update(sim_->Now(), 1.0);
@@ -137,7 +277,7 @@ void Disk::OnServiceComplete() {
   // Take the callback out before starting the next access so a callback
   // that submits new requests sees a consistent disk state.
   auto callback = std::move(current_.on_complete);
-  bool deliver = !current_cancelled_ && callback != nullptr;
+  bool deliver = !current_cancelled_ && static_cast<bool>(callback);
   StartNext();
   if (deliver) callback();
 }

@@ -6,14 +6,19 @@ namespace rtq::model {
 
 DiskCache::DiskCache(PageCount capacity_pages) : capacity_(capacity_pages) {
   RTQ_CHECK_MSG(capacity_pages >= 0, "cache capacity must be >= 0");
+  if (capacity_ > 0) ring_.resize(static_cast<size_t>(capacity_) + 1);
 }
 
 bool DiskCache::Contains(PageCount start, PageCount pages) const {
   if (pages <= 0) return true;
   // A request is a cache hit only when one extent covers it entirely;
   // track buffers do not stitch ranges together.
-  for (const Extent& e : extents_) {
+  const size_t n = ring_.size();
+  size_t i = head_;
+  for (size_t seen = 0; seen < count_; ++seen) {
+    const Extent& e = ring_[i];
     if (start >= e.start && start + pages <= e.start + e.pages) return true;
+    if (++i == n) i = 0;
   }
   return false;
 }
@@ -26,16 +31,22 @@ void DiskCache::Insert(PageCount start, PageCount pages) {
     start += pages - capacity_;
     pages = capacity_;
   }
-  while (cached_pages_ + pages > capacity_ && !extents_.empty()) {
-    cached_pages_ -= extents_.front().pages;
-    extents_.pop_front();
+  const size_t n = ring_.size();
+  while (cached_pages_ + pages > capacity_ && count_ != 0) {
+    cached_pages_ -= ring_[head_].pages;
+    if (++head_ == n) head_ = 0;
+    --count_;
   }
-  extents_.push_back(Extent{start, pages});
+  size_t tail = head_ + count_;
+  if (tail >= n) tail -= n;
+  ring_[tail] = Extent{start, pages};
+  ++count_;
   cached_pages_ += pages;
 }
 
 void DiskCache::Invalidate() {
-  extents_.clear();
+  head_ = 0;
+  count_ = 0;
   cached_pages_ = 0;
 }
 

@@ -10,7 +10,8 @@
 #ifndef RTQ_MODEL_DISK_CACHE_H_
 #define RTQ_MODEL_DISK_CACHE_H_
 
-#include <deque>
+#include <cstddef>
+#include <vector>
 
 #include "common/types.h"
 
@@ -43,7 +44,13 @@ class DiskCache {
 
   PageCount capacity_;
   PageCount cached_pages_ = 0;
-  std::deque<Extent> extents_;  // front = oldest
+  // Extents live in a fixed ring: every extent holds at least one page,
+  // so at most `capacity_` extents can be resident, and Contains() — the
+  // hot path, probed once per media read — scans a flat array instead of
+  // chasing deque segments.
+  std::vector<Extent> ring_;  // size capacity_ + 1, slots [head_, head_+count_)
+  size_t head_ = 0;
+  size_t count_ = 0;
 };
 
 }  // namespace rtq::model

@@ -7,26 +7,6 @@
 
 namespace rtq::sim {
 
-EventId EventQueue::Schedule(SimTime when, Callback cb) {
-  RTQ_CHECK_MSG(when == when, "event time must not be NaN");  // NaN check
-  uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot = static_cast<uint32_t>(slots_.size());
-    slots_.emplace_back();
-  }
-  Slot& s = slots_[slot];
-  s.cb = std::move(cb);
-  ++s.gen;  // even -> odd: slot is live
-  uint64_t seq = ++scheduled_;
-  heap_.push_back(HeapEntry{when, seq, slot, s.gen});
-  SiftUp(heap_.size() - 1);
-  ++live_count_;
-  return MakeId(slot, s.gen);
-}
-
 bool EventQueue::Cancel(EventId id) {
   uint64_t slot_plus_one = id >> 32;
   if (slot_plus_one == 0 || slot_plus_one > slots_.size()) return false;
@@ -54,7 +34,7 @@ void EventQueue::SiftUp(size_t i) const {
 
 void EventQueue::SiftDown(size_t i) const {
   HeapEntry e = heap_[i];
-  const size_t n = heap_.size();
+  const size_t n = heap_size_;
   for (;;) {
     size_t first_child = i * kArity + 1;
     if (first_child >= n) break;
@@ -72,20 +52,19 @@ void EventQueue::SiftDown(size_t i) const {
 }
 
 void EventQueue::PopRoot() const {
-  heap_.front() = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) SiftDown(0);
+  heap_[0] = heap_[--heap_size_];
+  if (heap_size_ != 0) SiftDown(0);
 }
 
 void EventQueue::SkimCancelled() const {
-  while (!heap_.empty() && Stale(heap_.front())) PopRoot();
+  while (heap_size_ != 0 && Stale(heap_[0])) PopRoot();
 }
 
 std::vector<std::pair<SimTime, uint64_t>> EventQueue::ExportPending() const {
   std::vector<std::pair<SimTime, uint64_t>> pending;
   pending.reserve(live_count_);
-  for (const HeapEntry& e : heap_) {
-    if (!Stale(e)) pending.emplace_back(e.time, e.seq);
+  for (size_t i = 0; i < heap_size_; ++i) {
+    if (!Stale(heap_[i])) pending.emplace_back(heap_[i].time, heap_[i].seq);
   }
   std::sort(pending.begin(), pending.end());
   return pending;
@@ -93,23 +72,28 @@ std::vector<std::pair<SimTime, uint64_t>> EventQueue::ExportPending() const {
 
 SimTime EventQueue::PeekTime() const {
   SkimCancelled();
-  RTQ_CHECK_MSG(!heap_.empty(), "PeekTime on empty queue");
-  return heap_.front().time;
+  RTQ_CHECK_MSG(heap_size_ != 0, "PeekTime on empty queue");
+  return heap_[0].time;
 }
 
 std::pair<SimTime, EventQueue::Callback> EventQueue::Pop() {
+  Callback cb;
+  SimTime when = PopInto(&cb);
+  return {when, std::move(cb)};
+}
+
+SimTime EventQueue::PopInto(Callback* cb) {
   SkimCancelled();
-  RTQ_CHECK_MSG(!heap_.empty(), "Pop on empty queue");
-  const HeapEntry top = heap_.front();
+  RTQ_CHECK_MSG(heap_size_ != 0, "Pop on empty queue");
+  const HeapEntry top = heap_[0];
   Slot& s = slots_[top.slot];
   RTQ_DCHECK(s.gen == top.gen);
-  Callback cb = std::move(s.cb);
-  s.cb = nullptr;
+  *cb = std::move(s.cb);  // leaves the slot's callback empty
   ++s.gen;  // odd -> even: recycle the slot
   free_slots_.push_back(top.slot);
   --live_count_;
   PopRoot();
-  return {top.time, std::move(cb)};
+  return top.time;
 }
 
 }  // namespace rtq::sim

@@ -15,10 +15,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
+#include "common/inline_callback.h"
 #include "common/types.h"
 
 namespace rtq::sim {
@@ -30,14 +31,46 @@ inline constexpr EventId kInvalidEventId = 0;
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  // Inline small-buffer callback: scheduling never heap-allocates, and
+  // capture sizes are bounded at compile time (see
+  // common/inline_callback.h). 48 bytes covers the widest simulator
+  // capture with headroom.
+  using Callback = InlineCallback<48>;
 
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Schedules `cb` to fire at absolute simulated time `when`.
-  EventId Schedule(SimTime when, Callback cb);
+  /// Schedules `f` to fire at absolute simulated time `when`. The
+  /// callable is constructed directly in its slab slot: no intermediate
+  /// Callback holder, no relocation on the way in.
+  template <typename F>
+  EventId Schedule(SimTime when, F&& f) {
+    RTQ_CHECK_MSG(when == when, "event time must not be NaN");  // NaN check
+    uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    s.cb = std::forward<F>(f);
+    ++s.gen;  // even -> odd: slot is live
+    uint64_t seq = ++scheduled_;
+    // heap_ is used as plain storage with heap_size_ as the logical
+    // size, so the hot push is a bounds check plus one store instead of
+    // a push_back carrying its reallocation slow path.
+    if (heap_size_ == heap_.size()) {
+      heap_.resize(heap_.empty() ? 64 : heap_.size() * 2);
+    }
+    heap_[heap_size_] = HeapEntry{when, seq, slot, s.gen};
+    SiftUp(heap_size_);
+    ++heap_size_;
+    ++live_count_;
+    return MakeId(slot, s.gen);
+  }
 
   /// Cancels a pending event in O(1). Returns false if the event already
   /// fired, was already cancelled, or never existed.
@@ -55,6 +88,11 @@ class EventQueue {
   /// Removes and returns the earliest live event. Requires !Empty().
   /// The returned pair is (time, callback).
   std::pair<SimTime, Callback> Pop();
+
+  /// Like Pop(), but moves the callback into `*cb` (overwriting it) and
+  /// returns only the event time — the simulator loop reuses one local
+  /// holder instead of materializing a pair per event.
+  SimTime PopInto(Callback* cb);
 
   /// Total events ever scheduled (live + fired + cancelled); for stats.
   uint64_t total_scheduled() const { return scheduled_; }
@@ -108,7 +146,10 @@ class EventQueue {
     return (static_cast<EventId>(slot) + 1) << 32 | gen;
   }
 
+  /// Heap storage; heap_[0 .. heap_size_) is the live heap, the rest is
+  /// pre-grown capacity (see Schedule).
   mutable std::vector<HeapEntry> heap_;
+  mutable size_t heap_size_ = 0;
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
   uint64_t scheduled_ = 0;

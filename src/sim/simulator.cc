@@ -5,9 +5,10 @@ namespace rtq::sim {
 uint64_t Simulator::RunUntil(SimTime until) {
   uint64_t count = 0;
   stop_requested_ = false;
+  EventQueue::Callback cb;
   while (!events_.Empty() && !stop_requested_) {
     if (events_.PeekTime() > until) break;
-    auto [when, cb] = events_.Pop();
+    SimTime when = events_.PopInto(&cb);
     RTQ_DCHECK(when >= now_);
     now_ = when;
     cb();
@@ -22,8 +23,9 @@ uint64_t Simulator::RunUntil(SimTime until) {
 uint64_t Simulator::RunToCompletion() {
   uint64_t count = 0;
   stop_requested_ = false;
+  EventQueue::Callback cb;
   while (!events_.Empty() && !stop_requested_) {
-    auto [when, cb] = events_.Pop();
+    SimTime when = events_.PopInto(&cb);
     RTQ_DCHECK(when >= now_);
     now_ = when;
     cb();
@@ -35,7 +37,8 @@ uint64_t Simulator::RunToCompletion() {
 
 bool Simulator::Step() {
   if (events_.Empty()) return false;
-  auto [when, cb] = events_.Pop();
+  EventQueue::Callback cb;
+  SimTime when = events_.PopInto(&cb);
   RTQ_DCHECK(when >= now_);
   now_ = when;
   cb();

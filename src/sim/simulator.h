@@ -26,16 +26,19 @@ class Simulator {
   /// Current simulated time in seconds.
   SimTime Now() const { return now_; }
 
-  /// Schedules `cb` after `delay` seconds of simulated time.
-  EventId ScheduleAfter(SimTime delay, EventQueue::Callback cb) {
+  /// Schedules `f` after `delay` seconds of simulated time. The callable
+  /// is forwarded through to the calendar slot (see EventQueue::Schedule).
+  template <typename F>
+  EventId ScheduleAfter(SimTime delay, F&& f) {
     RTQ_CHECK_MSG(delay >= 0.0, "negative event delay");
-    return events_.Schedule(now_ + delay, std::move(cb));
+    return events_.Schedule(now_ + delay, std::forward<F>(f));
   }
 
-  /// Schedules `cb` at absolute simulated time `when` (>= Now()).
-  EventId ScheduleAt(SimTime when, EventQueue::Callback cb) {
+  /// Schedules `f` at absolute simulated time `when` (>= Now()).
+  template <typename F>
+  EventId ScheduleAt(SimTime when, F&& f) {
     RTQ_CHECK_MSG(when >= now_, "event scheduled in the past");
-    return events_.Schedule(when, std::move(cb));
+    return events_.Schedule(when, std::forward<F>(f));
   }
 
   /// Cancels a pending event; see EventQueue::Cancel.

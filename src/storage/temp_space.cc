@@ -10,7 +10,8 @@ namespace rtq::storage {
 
 TempSpace::TempSpace(const Database& db,
                      const model::DiskParams& disk_params) {
-  arenas_.resize(db.num_disks());
+  arenas_.reserve(db.num_disks());
+  for (DiskId d = 0; d < db.num_disks(); ++d) arenas_.emplace_back(&pool_);
   band_center_.resize(db.num_disks());
   for (DiskId d = 0; d < db.num_disks(); ++d) {
     band_center_[d] =

@@ -11,8 +11,10 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
+#include "common/pool.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "storage/database.h"
@@ -48,8 +50,14 @@ class TempSpace {
 
  private:
   struct DiskArena {
+    using HoleMap =
+        std::map<PageCount, PageCount, std::less<PageCount>,
+                 PoolAllocator<std::pair<const PageCount, PageCount>>>;
+    explicit DiskArena(NodePool* pool)
+        : holes(std::less<PageCount>(),
+                PoolAllocator<std::pair<const PageCount, PageCount>>(pool)) {}
     // start_page -> length, non-overlapping, coalesced.
-    std::map<PageCount, PageCount> holes;
+    HoleMap holes;
     PageCount free_pages = 0;
   };
 
@@ -59,6 +67,10 @@ class TempSpace {
   /// hole position closest to it, so temp traffic seeks as little as
   /// possible from the clustered relations.
   std::vector<PageCount> band_center_;
+  // Hole-map nodes from every arena recycle through one pool (declared
+  // first so it outlives the maps): alloc/free churn in steady state
+  // touches no heap.
+  NodePool pool_;
   std::vector<DiskArena> arenas_;
   int32_t next_disk_ = 0;  // round-robin cursor
   uint64_t next_handle_ = 1;

@@ -17,15 +17,19 @@
 #include <string>
 #include <vector>
 
-#include "exec/operator.h"
-#include "exec/query.h"
+#include "common/types.h"
+#include "workload/query_builder.h"
 
 namespace rtq::workload {
 
 class ArrivalSource {
  public:
-  using Sink = std::function<void(exec::QueryDescriptor,
-                                  std::unique_ptr<exec::Operator>)>;
+  /// One arrival: the fully-resolved blueprint plus the engine-wide
+  /// sequential query id. The consumer materializes the
+  /// (descriptor, operator) pair itself — the engine builds it into the
+  /// query's arena (BuildQueryInArena), tests and the trace renderer use
+  /// the heap variant (BuildQuery); both are bit-identical.
+  using Sink = std::function<void(const QueryBlueprint&, QueryId)>;
 
   virtual ~ArrivalSource() = default;
 

@@ -70,12 +70,21 @@ QueryBlueprint DrawBlueprint(const QueryClassSpec& cls, int32_t query_class,
   return bp;
 }
 
-BuiltQuery BuildQuery(const QueryBlueprint& blueprint, QueryId id,
-                      const storage::Database& db,
-                      const exec::ExecParams& exec_params,
-                      const model::DiskParams& disk_params, double mips) {
-  BuiltQuery built;
-  exec::QueryDescriptor& desc = built.desc;
+namespace {
+
+// Shared construction core; `factory` decides where the operator lives
+// (heap for BuildQuery, arena for BuildQueryInArena). Everything else —
+// in particular the descriptor computation — is identical, which is what
+// keeps live generation, trace replay, and the engine's arena path
+// bit-identical to each other.
+template <typename Factory>
+exec::QueryDescriptor BuildCore(const QueryBlueprint& blueprint, QueryId id,
+                                const storage::Database& db,
+                                const exec::ExecParams& exec_params,
+                                const model::DiskParams& disk_params,
+                                double mips, Factory&& factory,
+                                exec::Operator** out_op) {
+  exec::QueryDescriptor desc;
   desc.id = id;
   desc.query_class = blueprint.query_class;
   desc.type = blueprint.type;
@@ -98,7 +107,7 @@ BuiltQuery BuildQuery(const QueryBlueprint& blueprint, QueryId id,
     inputs.s_disk = s.disk;
     inputs.s_start = s.start_page;
     inputs.s_pages = s.pages;
-    built.op = std::make_unique<exec::HashJoin>(exec_params, inputs);
+    *out_op = factory.MakeJoin(exec_params, inputs);
     est = exec::EstimateHashJoin(exec_params, disk_params, mips, r.pages,
                                  s.pages);
   } else {
@@ -110,7 +119,7 @@ BuiltQuery BuildQuery(const QueryBlueprint& blueprint, QueryId id,
     inputs.disk = r.disk;
     inputs.start = r.start_page;
     inputs.pages = r.pages;
-    built.op = std::make_unique<exec::ExternalSort>(exec_params, inputs);
+    *out_op = factory.MakeSort(exec_params, inputs);
     est = exec::EstimateExternalSort(exec_params, disk_params, mips, r.pages);
   }
 
@@ -118,8 +127,56 @@ BuiltQuery BuildQuery(const QueryBlueprint& blueprint, QueryId id,
       std::isnan(blueprint.standalone) ? est.total() : blueprint.standalone;
   desc.operand_io_requests = est.io_requests;
   desc.deadline = desc.arrival + desc.standalone_time * desc.slack_ratio;
-  desc.max_memory = built.op->max_memory();
-  desc.min_memory = built.op->min_memory();
+  desc.max_memory = (*out_op)->max_memory();
+  desc.min_memory = (*out_op)->min_memory();
+  return desc;
+}
+
+struct HeapFactory {
+  exec::Operator* MakeJoin(const exec::ExecParams& p,
+                           const exec::HashJoin::Inputs& in) const {
+    return new exec::HashJoin(p, in);
+  }
+  exec::Operator* MakeSort(const exec::ExecParams& p,
+                           const exec::ExternalSort::Inputs& in) const {
+    return new exec::ExternalSort(p, in);
+  }
+};
+
+struct ArenaFactory {
+  Arena* arena;
+  exec::Operator* MakeJoin(const exec::ExecParams& p,
+                           const exec::HashJoin::Inputs& in) const {
+    return arena->New<exec::HashJoin>(p, in);
+  }
+  exec::Operator* MakeSort(const exec::ExecParams& p,
+                           const exec::ExternalSort::Inputs& in) const {
+    return arena->New<exec::ExternalSort>(p, in, arena);
+  }
+};
+
+}  // namespace
+
+BuiltQuery BuildQuery(const QueryBlueprint& blueprint, QueryId id,
+                      const storage::Database& db,
+                      const exec::ExecParams& exec_params,
+                      const model::DiskParams& disk_params, double mips) {
+  BuiltQuery built;
+  exec::Operator* op = nullptr;
+  built.desc = BuildCore(blueprint, id, db, exec_params, disk_params, mips,
+                         HeapFactory{}, &op);
+  built.op.reset(op);
+  return built;
+}
+
+BuiltQueryRefs BuildQueryInArena(const QueryBlueprint& blueprint, QueryId id,
+                                 const storage::Database& db,
+                                 const exec::ExecParams& exec_params,
+                                 const model::DiskParams& disk_params,
+                                 double mips, Arena* arena) {
+  BuiltQueryRefs built;
+  built.desc = BuildCore(blueprint, id, db, exec_params, disk_params, mips,
+                         ArenaFactory{arena}, &built.op);
   return built;
 }
 

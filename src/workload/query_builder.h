@@ -22,6 +22,7 @@
 #include <limits>
 #include <memory>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "exec/cost_model.h"
@@ -65,6 +66,13 @@ struct BuiltQuery {
   std::unique_ptr<exec::Operator> op;
 };
 
+/// Arena-owned variant: the operator lives in (and is finalized by) the
+/// caller's arena, so building a query performs no heap allocation.
+struct BuiltQueryRefs {
+  exec::QueryDescriptor desc;
+  exec::Operator* op = nullptr;
+};
+
 /// Draws one arrival for `cls` at time `now`, consuming `selection` in
 /// the canonical order (slack, then relation picks).
 QueryBlueprint DrawBlueprint(const QueryClassSpec& cls, int32_t query_class,
@@ -78,6 +86,15 @@ BuiltQuery BuildQuery(const QueryBlueprint& blueprint, QueryId id,
                       const storage::Database& db,
                       const exec::ExecParams& exec_params,
                       const model::DiskParams& disk_params, double mips);
+
+/// Same construction, but the operator (and its scratch) is placed in
+/// `arena`. The descriptor computation is a pure function, so the two
+/// variants produce bit-identical descriptors.
+BuiltQueryRefs BuildQueryInArena(const QueryBlueprint& blueprint, QueryId id,
+                                 const storage::Database& db,
+                                 const exec::ExecParams& exec_params,
+                                 const model::DiskParams& disk_params,
+                                 double mips, Arena* arena);
 
 }  // namespace rtq::workload
 

@@ -298,8 +298,8 @@ void ScenarioSource::AppendStateDigest(std::vector<std::string>* out) const {
   for (size_t i = 0; i < class_state_.size(); ++i) {
     std::string line = "source.class " + std::to_string(i) + " ";
     class_state_[i].process->AppendDigest(&line);
-    line += " " +
-            std::to_string(Fnv1a64Hash(class_state_[i].selection.StateString()));
+    line += " " + std::to_string(
+                      Fnv1a64Hash(class_state_[i].selection.StateString()));
     out->push_back(std::move(line));
   }
 }
@@ -321,9 +321,7 @@ void ScenarioSource::EmitQuery(int32_t query_class) {
       workload_.classes[static_cast<size_t>(query_class)], query_class,
       sim_->Now(), *db_, &state.selection,
       scenario_.classes[static_cast<size_t>(query_class)].selection);
-  BuiltQuery built =
-      BuildQuery(bp, next_id_++, *db_, exec_params_, disk_params_, mips_);
-  sink_(built.desc, std::move(built.op));
+  sink_(bp, next_id_++);
 }
 
 // ---------------------------------------------------------------------------

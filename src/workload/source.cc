@@ -103,9 +103,7 @@ void Source::EmitQuery(int32_t query_class) {
   QueryBlueprint bp =
       DrawBlueprint(spec_.classes[query_class], query_class, sim_->Now(),
                     *db_, &state.selection);
-  BuiltQuery built = BuildQuery(bp, next_id_++, *db_, exec_params_,
-                                disk_params_, mips_);
-  sink_(built.desc, std::move(built.op));
+  sink_(bp, next_id_++);
 }
 
 }  // namespace rtq::workload

@@ -153,9 +153,7 @@ void TraceSource::ScheduleNext() {
     bp.s = r.s;
     bp.slack = r.slack;
     bp.standalone = r.standalone;
-    BuiltQuery built =
-        BuildQuery(bp, next_id_++, *db_, exec_params_, disk_params_, mips_);
-    sink_(built.desc, std::move(built.op));
+    sink_(bp, next_id_++);
     ScheduleNext();
   });
 }

@@ -7,7 +7,6 @@
 #ifndef RTQ_TESTS_MOCK_EXEC_CONTEXT_H_
 #define RTQ_TESTS_MOCK_EXEC_CONTEXT_H_
 
-#include <functional>
 #include <queue>
 #include <set>
 
@@ -19,15 +18,14 @@ class MockExecContext : public exec::ExecContext {
  public:
   SimTime Now() const override { return now_; }
 
-  void RunCpu(Instructions instructions,
-              std::function<void()> done) override {
+  void RunCpu(Instructions instructions, exec::DoneCallback done) override {
     now_ += static_cast<double>(instructions) / 40e6;
     total_instructions += instructions;
     pending_.push(std::move(done));
   }
 
   void Read(DiskId disk, PageCount start, PageCount pages,
-            std::function<void()> done) override {
+            exec::DoneCallback done) override {
     (void)disk;
     last_read_start = start;
     last_read_pages = pages;
@@ -38,7 +36,7 @@ class MockExecContext : public exec::ExecContext {
   }
 
   void Write(DiskId disk, PageCount start, PageCount pages,
-             std::function<void()> done, bool background) override {
+             exec::DoneCallback done, bool background) override {
     (void)disk;
     (void)start;
     now_ += 0.0195 + 0.00185 * static_cast<double>(pages);
@@ -102,7 +100,7 @@ class MockExecContext : public exec::ExecContext {
  private:
   SimTime now_ = 0.0;
   PageCount next_temp_ = 1'000'000;
-  std::queue<std::function<void()>> pending_;
+  std::queue<exec::DoneCallback> pending_;
   std::set<uint64_t> live_temp_;
 };
 

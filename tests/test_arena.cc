@@ -1,0 +1,144 @@
+// Unit tests for the phase-scoped bump allocator (common/arena.h): the
+// steady-state reuse property the malloc gate relies on, finalizer
+// ordering, alignment, and the std-allocator adapter.
+
+#include "common/arena.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace rtq {
+namespace {
+
+TEST(ArenaTest, AllocateReturnsAlignedDistinctMemory) {
+  Arena arena;
+  void* a = arena.Allocate(24, 8);
+  void* b = arena.Allocate(16, 8);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_GE(arena.bytes_used(), 40u);
+}
+
+TEST(ArenaTest, AlignmentRequestsAreHonored) {
+  Arena arena;
+  arena.Allocate(1, 1);  // misalign the cursor
+  void* p = arena.Allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+  arena.Allocate(3, 1);
+  void* q = arena.Allocate(16, 16);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(q) % 16, 0u);
+}
+
+TEST(ArenaTest, ResetRewindsWithoutReleasingChunks) {
+  Arena arena(128);
+  for (int i = 0; i < 100; ++i) arena.Allocate(64, 8);
+  size_t reserved = arena.bytes_reserved();
+  size_t chunks = arena.chunk_count();
+  EXPECT_GT(chunks, 1u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // Chunks are retained for the next phase.
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.chunk_count(), chunks);
+
+  // A phase that fits in the high-water footprint reserves nothing new.
+  for (int i = 0; i < 100; ++i) arena.Allocate(64, 8);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.chunk_count(), chunks);
+}
+
+TEST(ArenaTest, HighWaterTracksLargestPhase) {
+  Arena arena;
+  arena.Allocate(100, 8);
+  arena.Reset();
+  arena.Allocate(300, 8);
+  size_t high = arena.high_water();
+  EXPECT_GE(high, 300u);
+  arena.Reset();
+  arena.Allocate(50, 8);
+  arena.Reset();
+  EXPECT_EQ(arena.high_water(), high);
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(64);
+  void* big = arena.Allocate(4096, 8);
+  ASSERT_NE(big, nullptr);
+  // The oversized block is usable end to end.
+  std::memset(big, 0xAB, 4096);
+  EXPECT_GE(arena.bytes_reserved(), 4096u);
+}
+
+struct Tracked {
+  explicit Tracked(std::vector<int>* log, int id) : log_(log), id_(id) {}
+  ~Tracked() { log_->push_back(id_); }
+  std::vector<int>* log_;
+  int id_;
+};
+
+TEST(ArenaTest, ResetRunsFinalizersNewestFirst) {
+  std::vector<int> log;
+  Arena arena;
+  arena.New<Tracked>(&log, 1);
+  arena.New<Tracked>(&log, 2);
+  arena.New<Tracked>(&log, 3);
+  EXPECT_TRUE(log.empty());
+  arena.Reset();
+  EXPECT_EQ(log, (std::vector<int>{3, 2, 1}));
+  // Finalizer list is consumed: a second Reset must not double-destroy.
+  arena.Reset();
+  EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(ArenaTest, DestructorRunsPendingFinalizers) {
+  std::vector<int> log;
+  {
+    Arena arena;
+    arena.New<Tracked>(&log, 7);
+  }
+  EXPECT_EQ(log, std::vector<int>{7});
+}
+
+TEST(ArenaTest, TriviallyDestructibleNewSkipsFinalizers) {
+  Arena arena;
+  int64_t* v = arena.New<int64_t>(42);
+  EXPECT_EQ(*v, 42);
+  int64_t* arr = arena.NewArray<int64_t>(16);
+  for (int i = 0; i < 16; ++i) arr[i] = i;
+  arena.Reset();  // must not touch v or arr as objects
+  EXPECT_EQ(arena.bytes_used(), 0u);
+}
+
+TEST(ArenaAllocatorTest, ArenaBackedVectorAllocatesFromArena) {
+  Arena arena;
+  std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_GT(arena.bytes_used(), 0u);
+  EXPECT_EQ(v[99], 99);
+}
+
+TEST(ArenaAllocatorTest, NullArenaFallsBackToHeap) {
+  std::vector<int, ArenaAllocator<int>> v;  // default: no arena
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+}
+
+TEST(ArenaAllocatorTest, EqualityFollowsArenaIdentity) {
+  Arena a, b;
+  ArenaAllocator<int> aa(&a), ab(&b), aa2(&a);
+  EXPECT_TRUE(aa == aa2);
+  EXPECT_TRUE(aa != ab);
+  // Rebinding preserves the arena.
+  ArenaAllocator<double> rebound(aa);
+  EXPECT_EQ(rebound.arena(), &a);
+}
+
+}  // namespace
+}  // namespace rtq

@@ -1,0 +1,136 @@
+// Unit tests for the fixed-capacity callback holder
+// (common/inline_callback.h): dispatch, move semantics, widening
+// conversion, destruction of non-trivial captures, and the zero-tail
+// invariant behind the fixed-size relocation fast path.
+
+#include "common/inline_callback.h"
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace rtq {
+namespace {
+
+TEST(InlineCallbackTest, DefaultIsEmptyAndFalsy) {
+  InlineCallback<24> cb;
+  EXPECT_FALSE(cb);
+  InlineCallback<24> nil(nullptr);
+  EXPECT_FALSE(nil);
+}
+
+TEST(InlineCallbackTest, InvokesCapturedLambda) {
+  int hits = 0;
+  InlineCallback<24> cb([&hits] { ++hits; });
+  ASSERT_TRUE(cb);
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallbackTest, MoveTransfersOwnership) {
+  int hits = 0;
+  InlineCallback<24> a([&hits] { ++hits; });
+  InlineCallback<24> b(std::move(a));
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): emptiness is specified
+  ASSERT_TRUE(b);
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallbackTest, MoveAssignReplacesExisting) {
+  int first = 0, second = 0;
+  InlineCallback<24> a([&first] { ++first; });
+  InlineCallback<24> b([&second] { ++second; });
+  a = std::move(b);
+  a();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(InlineCallbackTest, EmplaceAssignmentConstructsInPlace) {
+  int hits = 0;
+  InlineCallback<24> cb;
+  cb = [&hits] { hits += 10; };
+  cb();
+  EXPECT_EQ(hits, 10);
+  cb = nullptr;
+  EXPECT_FALSE(cb);
+}
+
+TEST(InlineCallbackTest, WideningMovePreservesCallable) {
+  int64_t acc = 0;
+  int64_t* p = &acc;
+  InlineCallback<24> narrow([p] { *p += 5; });
+  InlineCallback<48> wide(std::move(narrow));
+  ASSERT_TRUE(wide);
+  wide();
+  EXPECT_EQ(acc, 5);
+  // The widened holder relocates again without corruption.
+  InlineCallback<48> wider(std::move(wide));
+  wider();
+  EXPECT_EQ(acc, 10);
+}
+
+TEST(InlineCallbackTest, NonTrivialCaptureIsDestroyed) {
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineCallback<24> cb([token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(watch.expired());  // capture keeps it alive
+  }
+  EXPECT_TRUE(watch.expired());  // holder destruction ran the dtor
+}
+
+TEST(InlineCallbackTest, NonTrivialCaptureSurvivesRelocation) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  int got = 0;
+  InlineCallback<24> a([token, &got] { got = *token; });
+  token.reset();
+  InlineCallback<48> b(std::move(a));
+  EXPECT_FALSE(watch.expired());
+  b();
+  EXPECT_EQ(got, 7);
+  b = nullptr;
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineCallbackTest, CaptureAtExactCapacityFits) {
+  struct Fat {
+    int64_t a, b, c;  // 24 bytes: exactly InlineCallback<24>'s capacity
+  };
+  Fat fat{1, 2, 3};
+  int64_t sum = 0;
+  static int64_t* sink;
+  sink = &sum;
+  InlineCallback<24> cb([fat]() { *sink = fat.a + fat.b + fat.c; });
+  cb();
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(InlineCallbackTest, SizeIsCapacityPlusOnePointer) {
+  static_assert(sizeof(InlineCallback<24>) == 24 + sizeof(void*));
+  static_assert(sizeof(InlineCallback<48>) == 48 + sizeof(void*));
+  static_assert(sizeof(InlineCallback<80>) == 80 + sizeof(void*));
+}
+
+TEST(InlineCallbackTest, RepeatedChurnIsStable) {
+  // Mimics a slab slot: assign, relocate out, invoke, many times over.
+  uint64_t acc = 0;
+  uint64_t* p = &acc;
+  InlineCallback<48> slot;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    slot = [p, i] { *p += i; };
+    InlineCallback<48> holder(std::move(slot));
+    holder();
+  }
+  EXPECT_EQ(acc, 999u * 1000u / 2u);
+}
+
+}  // namespace
+}  // namespace rtq

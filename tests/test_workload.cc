@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "workload/query_builder.h"
 #include "workload/workload_spec.h"
 
 namespace rtq::workload {
@@ -35,9 +36,20 @@ WorkloadSpec JoinWorkload(double rate) {
   return spec;
 }
 
+// The sink now receives (blueprint, id); tests materialize the
+// (descriptor, operator) pair exactly the way the engine does.
 struct Collected {
   std::vector<exec::QueryDescriptor> descs;
   std::vector<std::unique_ptr<exec::Operator>> ops;
+
+  Source::Sink SinkFor(const storage::Database& db) {
+    return [this, &db](const QueryBlueprint& bp, QueryId id) {
+      BuiltQuery built = BuildQuery(bp, id, db, exec::ExecParams(),
+                                    model::DiskParams(), 40.0);
+      descs.push_back(built.desc);
+      ops.push_back(std::move(built.op));
+    };
+  }
 };
 
 TEST(WorkloadSpec, Validation) {
@@ -76,12 +88,7 @@ TEST(Source, PoissonArrivalCountIsPlausible) {
   storage::Database db = MakeDb(&rng);
   Collected got;
   Source source(&sim, &db, JoinWorkload(0.05), exec::ExecParams(),
-                model::DiskParams(), 40.0, Rng(3),
-                [&](exec::QueryDescriptor d,
-                    std::unique_ptr<exec::Operator> op) {
-                  got.descs.push_back(d);
-                  got.ops.push_back(std::move(op));
-                });
+                model::DiskParams(), 40.0, Rng(3), got.SinkFor(db));
   source.Start();
   sim.RunUntil(20000.0);
   // Expect ~1000 arrivals; allow +-15%.
@@ -94,12 +101,7 @@ TEST(Source, DeadlineFollowsPaperFormula) {
   storage::Database db = MakeDb(&rng);
   Collected got;
   Source source(&sim, &db, JoinWorkload(0.05), exec::ExecParams(),
-                model::DiskParams(), 40.0, Rng(5),
-                [&](exec::QueryDescriptor d,
-                    std::unique_ptr<exec::Operator> op) {
-                  got.descs.push_back(d);
-                  got.ops.push_back(std::move(op));
-                });
+                model::DiskParams(), 40.0, Rng(5), got.SinkFor(db));
   source.Start();
   sim.RunUntil(5000.0);
   ASSERT_GT(got.descs.size(), 20u);
@@ -119,12 +121,7 @@ TEST(Source, InnerRelationIsTheSmaller) {
   storage::Database db = MakeDb(&rng);
   Collected got;
   Source source(&sim, &db, JoinWorkload(0.1), exec::ExecParams(),
-                model::DiskParams(), 40.0, Rng(7),
-                [&](exec::QueryDescriptor d,
-                    std::unique_ptr<exec::Operator> op) {
-                  got.descs.push_back(d);
-                  got.ops.push_back(std::move(op));
-                });
+                model::DiskParams(), 40.0, Rng(7), got.SinkFor(db));
   source.Start();
   sim.RunUntil(3000.0);
   ASSERT_GT(got.descs.size(), 10u);
@@ -143,9 +140,8 @@ TEST(Source, IdsAreSequential) {
   std::vector<QueryId> ids;
   Source source(&sim, &db, JoinWorkload(0.1), exec::ExecParams(),
                 model::DiskParams(), 40.0, Rng(9),
-                [&](exec::QueryDescriptor d,
-                    std::unique_ptr<exec::Operator>) {
-                  ids.push_back(d.id);
+                [&](const QueryBlueprint&, QueryId id) {
+                  ids.push_back(id);
                 });
   source.Start();
   sim.RunUntil(2000.0);
@@ -159,8 +155,7 @@ TEST(Source, DeactivationStopsArrivals) {
   int count = 0;
   Source source(&sim, &db, JoinWorkload(0.1), exec::ExecParams(),
                 model::DiskParams(), 40.0, Rng(11),
-                [&](exec::QueryDescriptor,
-                    std::unique_ptr<exec::Operator>) { ++count; });
+                [&](const QueryBlueprint&, QueryId) { ++count; });
   source.Start();
   sim.RunUntil(2000.0);
   int before = count;
@@ -183,12 +178,7 @@ TEST(Source, SortClassesBuildSortOperators) {
   spec.classes[0].rel_groups = {0};
   Collected got;
   Source source(&sim, &db, spec, exec::ExecParams(), model::DiskParams(),
-                40.0, Rng(13),
-                [&](exec::QueryDescriptor d,
-                    std::unique_ptr<exec::Operator> op) {
-                  got.descs.push_back(d);
-                  got.ops.push_back(std::move(op));
-                });
+                40.0, Rng(13), got.SinkFor(db));
   source.Start();
   sim.RunUntil(2000.0);
   ASSERT_GT(got.descs.size(), 5u);
@@ -209,9 +199,11 @@ TEST(Source, DeterministicAcrossRuns) {
     std::vector<double> deadlines;
     Source source(&sim, &db, JoinWorkload(0.1), exec::ExecParams(),
                   model::DiskParams(), 40.0, Rng(seed),
-                  [&](exec::QueryDescriptor d,
-                      std::unique_ptr<exec::Operator>) {
-                    deadlines.push_back(d.deadline);
+                  [&](const QueryBlueprint& bp, QueryId id) {
+                    BuiltQuery built =
+                        BuildQuery(bp, id, db, exec::ExecParams(),
+                                   model::DiskParams(), 40.0);
+                    deadlines.push_back(built.desc.deadline);
                   });
     source.Start();
     sim.RunUntil(2000.0);
