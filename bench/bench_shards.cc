@@ -1,0 +1,160 @@
+// Scale-out study (Section 5 extended): the baseline workload declustered
+// across a sharded cluster. Sweeps shard count x arrival rate x placement
+// skew x policy, plus a global-admission lane, and reports aggregate and
+// per-shard miss ratios — the question being how much an overloaded
+// single system gains from declustering, and how placement skew erodes
+// that gain (the hot shard stays overloaded while cold shards idle).
+
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "engine/sharded_rtdbs.h"
+
+namespace {
+
+/// One cluster point of the sweep.
+struct Lane {
+  int32_t shards;
+  const char* placement;
+  const char* admission;
+  rtq::engine::PolicyConfig policy;
+  double rate;
+};
+
+}  // namespace
+
+int main() {
+  using namespace rtq;
+  using namespace rtq::bench;
+
+  Banner("E18: scale-out across shards (declustered baseline)",
+         "Section 5 extension (sharded cluster)");
+
+  auto policies = harness::PoliciesOrDefault({{"max"}, {"minmax"}, {"pmm"}});
+
+  const std::vector<int32_t> shard_counts = {1, 2, 4, 8};
+  // hash is the no-skew reference; the skew lanes pin 60% / 80% of the
+  // arrival stream to shard 0.
+  const std::vector<const char*> placements = {"hash", "skew:hot=0.60",
+                                               "skew:hot=0.80"};
+  const std::vector<double> rates = {0.12, 0.24};
+
+  std::vector<Lane> lanes;
+  for (double rate : rates) {
+    for (const char* placement : placements) {
+      for (int32_t shards : shard_counts) {
+        for (const auto& policy : policies) {
+          lanes.push_back({shards, placement, "local", policy, rate});
+        }
+      }
+    }
+  }
+  // Global-admission lane: Max admits greedily per shard; a cluster-wide
+  // MPL cap is the only cross-shard brake. Compare against the hash/local
+  // rows above at the same rate.
+  for (int32_t shards : {2, 4, 8}) {
+    lanes.push_back({shards, "hash", "global:mpl=12", {"max"}, 0.24});
+  }
+
+  std::vector<harness::RunSpec> specs;
+  specs.reserve(lanes.size());
+  for (const Lane& lane : lanes) {
+    harness::RunSpec spec;
+    spec.label = "s" + std::to_string(lane.shards) + " " + lane.placement +
+                 " " + lane.admission + " " +
+                 harness::PolicyLabel(lane.policy) + " @ " + F(lane.rate, 2);
+    spec.config = harness::BaselineConfig(lane.rate, lane.policy);
+    spec.duration = harness::ExperimentDuration();
+    specs.push_back(std::move(spec));
+  }
+
+  // Custom job body: build a ShardedRtdbs instead of a plain Rtdbs, and
+  // capture the per-shard summaries + coordinator counters alongside the
+  // aggregate. Each worker writes only its own index — no locking needed.
+  std::vector<std::vector<engine::SystemSummary>> per_shard(specs.size());
+  std::vector<int64_t> refusals(specs.size(), 0);
+  std::vector<int64_t> high_water(specs.size(), 0);
+  auto job = [&](const harness::RunSpec& spec, size_t index) {
+    const Lane& lane = lanes[index];
+    engine::ShardConfig sc;
+    sc.num_shards = lane.shards;
+    sc.placement = lane.placement;
+    sc.admission = lane.admission;
+    auto t0 = Now();
+    auto sys = engine::ShardedRtdbs::Create(spec.config, sc);
+    RTQ_CHECK_MSG(sys.ok(), sys.status().ToString().c_str());
+    sys.value()->RunUntil(spec.duration);
+    harness::RunResult out;
+    out.label = spec.label;
+    out.config = spec.config;
+    out.summary = sys.value()->Summarize();
+    for (int32_t s = 0; s < lane.shards; ++s) {
+      per_shard[index].push_back(sys.value()->SummarizeShard(s));
+    }
+    if (const core::ShardCoordinator* coord = sys.value()->coordinator()) {
+      refusals[index] = coord->refusals();
+      high_water[index] = coord->high_water();
+    }
+    out.wall_seconds = SecondsSince(t0);
+    return out;
+  };
+
+  auto start = Now();
+  std::vector<harness::RunResult> results =
+      harness::RunPool(specs, harness::BenchJobs(), job);
+  double wall = SecondsSince(start);
+
+  harness::TablePrinter table({"rate", "placement", "admission", "shards",
+                               "policy", "miss ratio", "shard0 miss",
+                               "worst shard", "MPL", "queries"});
+  harness::CsvWriter csv({"rate", "placement", "admission", "shards",
+                          "policy", "miss_ratio", "shard0_miss_ratio",
+                          "worst_shard_miss_ratio", "avg_mpl",
+                          "completions"});
+  harness::BenchJsonEmitter json("shards");
+  json.AddConfig("rates", F(rates.front(), 2) + "-" + F(rates.back(), 2));
+  json.AddConfig("global_mpl", "12");
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Lane& lane = lanes[i];
+    const engine::SystemSummary& s = results[i].summary;
+    double worst = 0.0;
+    for (const engine::SystemSummary& ss : per_shard[i]) {
+      worst = std::max(worst, ss.overall.miss_ratio);
+    }
+    const double shard0 = per_shard[i].front().overall.miss_ratio;
+    table.AddRow({F(lane.rate, 2), lane.placement, lane.admission,
+                  std::to_string(lane.shards),
+                  harness::PolicyLabel(lane.policy),
+                  Pct(s.overall.miss_ratio), Pct(shard0), Pct(worst),
+                  F(s.avg_mpl, 2), std::to_string(s.overall.completions)});
+    csv.AddRow({F(lane.rate, 2), lane.placement, lane.admission,
+                std::to_string(lane.shards),
+                harness::PolicyLabel(lane.policy),
+                F(s.overall.miss_ratio, 4), F(shard0, 4), F(worst, 4),
+                F(s.avg_mpl, 3), std::to_string(s.overall.completions)});
+    // Aggregate point, then one point per shard ("<label>#<s>") so the
+    // drift gate also pins the placement split itself.
+    json.AddResult(results[i], harness::PolicyLabel(lane.policy), lane.rate);
+    for (size_t sh = 0; sh < per_shard[i].size(); ++sh) {
+      harness::RunResult shard_point;
+      shard_point.label = results[i].label + " #" + std::to_string(sh);
+      shard_point.config = results[i].config;
+      shard_point.summary = per_shard[i][sh];
+      shard_point.wall_seconds = 0.0;
+      json.AddResult(shard_point, harness::PolicyLabel(lane.policy),
+                     lane.rate);
+    }
+    if (refusals[i] > 0 || high_water[i] > 0) {
+      std::printf("%s: coordinator high-water %lld, refusals %lld\n",
+                  results[i].label.c_str(),
+                  static_cast<long long>(high_water[i]),
+                  static_cast<long long>(refusals[i]));
+    }
+  }
+  table.Print();
+  WriteCsv(csv, "results/shards.csv");
+  WriteBenchJson(json, wall);
+  return 0;
+}

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/metrics_streamer.h"
@@ -74,7 +75,12 @@ int main() {
   PrintState(*session);
 
   Banner("snapshot mid-flight");
-  Snapshot snapshot = session->TakeSnapshot();
+  auto taken = session->TakeSnapshot();
+  if (!taken.ok()) {
+    std::fprintf(stderr, "%s\n", taken.status().ToString().c_str());
+    return 1;
+  }
+  Snapshot snapshot = std::move(taken).value();
   const std::string path = "results/serve_session_example.rtqs";
   rtq::Status wrote = rtq::serve::WriteSnapshotFile(snapshot, path);
   if (!wrote.ok()) {

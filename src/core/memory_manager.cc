@@ -25,6 +25,13 @@ void MemoryManager::SetStrategy(
   Reallocate();
 }
 
+void MemoryManager::SetAdmissionGate(AdmissionGate* gate) {
+  RTQ_CHECK_MSG(queries_.empty(),
+                "admission gate must be installed on an empty manager");
+  gate_ = gate;
+  cache_valid_ = false;
+}
+
 void MemoryManager::SetAllocation(Entry& entry, PageCount pages) {
   allocated_sum_ += pages - entry.allocation;
   admitted_count_ += (pages > 0) - (entry.allocation > 0);
@@ -78,6 +85,7 @@ void MemoryManager::RemoveQuery(QueryId id) {
   // other allocation is provably unchanged.
   bool stable = !reallocating_ && cache_valid_ && held == 0 &&
                 !frontier_is_end_ && frontier_key_ < it->first;
+  if (gate_ != nullptr && held > 0) gate_->Release();
   allocated_sum_ -= held;
   admitted_count_ -= held > 0;
   queries_.erase(it);
@@ -127,6 +135,25 @@ void MemoryManager::Reallocate() {
     }
     RTQ_CHECK_MSG(sum <= total_, "strategy oversubscribed the pool");
 
+    // Gate pass: release the slots of queries this recompute demotes to
+    // zero, then claim one slot per would-be admission in ED order —
+    // refused queries are vetoed back to zero (the strategy's pages for
+    // them simply go unused this round; they retry on every recompute).
+    if (gate_ != nullptr) {
+      size_t i = 0;
+      for (auto& [key, entry] : queries_) {
+        if (alloc[i] == 0 && entry.allocation > 0) gate_->Release();
+        ++i;
+      }
+      i = 0;
+      for (auto& [key, entry] : queries_) {
+        if (alloc[i] > 0 && entry.allocation == 0 && !gate_->TryAcquire()) {
+          alloc_scratch_[i] = 0;
+        }
+        ++i;
+      }
+    }
+
     // Apply shrinks before grows so the pool never oversubscribes.
     i = 0;
     for (auto& [key, entry] : queries_) {
@@ -142,7 +169,7 @@ void MemoryManager::Reallocate() {
     // Cache the strategy's stable-tail proof for the fast paths; only
     // when this pass is final (a deferred nested request means the state
     // already moved under us).
-    if (!realloc_again_ && hint.valid) {
+    if (!realloc_again_ && hint.valid && gate_ == nullptr) {
       hint_ = hint;
       frontier_is_end_ = hint.from >= key_scratch_.size();
       if (!frontier_is_end_) frontier_key_ = key_scratch_[hint.from];

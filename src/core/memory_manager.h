@@ -31,6 +31,20 @@
 
 namespace rtq::core {
 
+/// Cross-cutting admission veto consulted during reallocation. The
+/// manager calls TryAcquire once for every query about to move from zero
+/// to a positive allocation; returning false keeps that query at zero for
+/// this recompute (it stays registered and is retried on every later
+/// one). Release is the inverse transition: an admitted query left the
+/// system or was demoted back to zero. The cross-shard global-MPL
+/// coordinator (core::ShardCoordinator) is the canonical implementation.
+class AdmissionGate {
+ public:
+  virtual ~AdmissionGate() = default;
+  virtual bool TryAcquire() = 0;
+  virtual void Release() = 0;
+};
+
 class MemoryManager {
  public:
   /// Invoked with (query, new_allocation) whenever a query's allocation
@@ -43,6 +57,13 @@ class MemoryManager {
 
   /// Replaces the strategy and reallocates.
   void SetStrategy(std::unique_ptr<AllocationStrategy> strategy);
+
+  /// Installs an admission gate (not owned; null clears). Must be set
+  /// before the first AddQuery — slot accounting starts from an empty
+  /// system. A gated manager never caches stable-tail hints: the gate's
+  /// verdict depends on state outside this manager (other shards), so no
+  /// incremental proof survives between recomputes.
+  void SetAdmissionGate(AdmissionGate* gate);
 
   /// Registers an arriving query and reallocates (incrementally when the
   /// strategy's stable-tail proof applies).
@@ -98,6 +119,7 @@ class MemoryManager {
   PageCount total_;
   std::unique_ptr<AllocationStrategy> strategy_;
   ApplyFn apply_;
+  AdmissionGate* gate_ = nullptr;
   // Both membership maps recycle their nodes through a pool, so
   // steady-state arrival/retire churn costs no heap allocation. The pool
   // outlives (is declared before) the containers that use it.

@@ -1,0 +1,74 @@
+#include "core/shard_coordinator.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace rtq::core {
+
+ShardCoordinator::ShardCoordinator(int32_t num_shards, int64_t global_mpl)
+    : global_mpl_(global_mpl) {
+  RTQ_CHECK_MSG(num_shards >= 1, "coordinator needs at least one shard");
+  RTQ_CHECK_MSG(global_mpl >= 1, "global mpl must be >= 1");
+  gates_.resize(static_cast<size_t>(num_shards));
+  held_.assign(static_cast<size_t>(num_shards), 0);
+  for (int32_t s = 0; s < num_shards; ++s) {
+    gates_[static_cast<size_t>(s)].owner = this;
+    gates_[static_cast<size_t>(s)].shard = s;
+  }
+}
+
+AdmissionGate* ShardCoordinator::GateFor(int32_t shard) {
+  RTQ_CHECK_MSG(shard >= 0 && shard < num_shards(), "bad shard index");
+  return &gates_[static_cast<size_t>(shard)];
+}
+
+int64_t ShardCoordinator::held_by(int32_t shard) const {
+  RTQ_CHECK_MSG(shard >= 0 && shard < num_shards(), "bad shard index");
+  return held_[static_cast<size_t>(shard)];
+}
+
+bool ShardCoordinator::Gate::TryAcquire() { return owner->TryAcquire(shard); }
+void ShardCoordinator::Gate::Release() { owner->Release(shard); }
+
+bool ShardCoordinator::TryAcquire(int32_t shard) {
+  if (in_use_ >= global_mpl_) {
+    ++refusals_;
+    return false;
+  }
+  ++in_use_;
+  ++held_[static_cast<size_t>(shard)];
+  if (in_use_ > high_water_) high_water_ = in_use_;
+  return true;
+}
+
+void ShardCoordinator::Release(int32_t shard) {
+  RTQ_CHECK_MSG(held_[static_cast<size_t>(shard)] > 0,
+                "releasing a slot the shard does not hold");
+  --in_use_;
+  --held_[static_cast<size_t>(shard)];
+}
+
+StatusOr<int64_t> ParseAdmissionSpec(const std::string& spec) {
+  if (spec == "local") return static_cast<int64_t>(0);
+  if (spec.rfind("global", 0) == 0) {
+    if (spec == "global")
+      return Status::InvalidArgument(
+          "admission \"global\" requires a cap: use global:mpl=N");
+    if (spec.rfind("global:mpl=", 0) != 0)
+      return Status::InvalidArgument("bad admission spec \"" + spec +
+                                     "\" (want local or global:mpl=N)");
+    const char* value = spec.c_str() + 11;
+    char* end = nullptr;
+    long long mpl = std::strtoll(value, &end, 10);
+    if (end == value || *end != '\0' || mpl < 1)
+      return Status::InvalidArgument(
+          "admission \"global\": mpl must be a positive integer, got \"" +
+          spec.substr(11) + "\"");
+    return static_cast<int64_t>(mpl);
+  }
+  return Status::InvalidArgument("bad admission spec \"" + spec +
+                                 "\" (want local or global:mpl=N)");
+}
+
+}  // namespace rtq::core

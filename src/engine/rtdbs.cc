@@ -9,7 +9,9 @@
 #include "common/fnv.h"
 #include "common/rng.h"
 #include "core/policy_registry.h"
+#include "core/shard_coordinator.h"
 #include "core/strategy.h"
+#include "workload/placement.h"
 #include "workload/scenario.h"
 #include "workload/scenario_registry.h"
 #include "workload/trace.h"
@@ -114,7 +116,12 @@ class Rtdbs::QueryContext : public exec::ExecContext {
 // ---------------------------------------------------------------------------
 class Rtdbs::ProbeImpl : public core::SystemProbe {
  public:
-  explicit ProbeImpl(Rtdbs* sys) : sys_(sys) {}
+  explicit ProbeImpl(Rtdbs* sys) : sys_(sys) {
+    // Explicit boot-time baselines: the disk farm exists before the probe
+    // (Init builds disks_ first), and seeding zeros makes the first
+    // window span [0, first reading) with the true boot utilization.
+    disk_windows_.Rebind(sys_->disks_.size(), [](size_t) { return 0.0; });
+  }
 
   Readings TakeReadings() override {
     SimTime now = sys_->sim_.Now();
@@ -133,15 +140,18 @@ class Rtdbs::ProbeImpl : public core::SystemProbe {
 
     double max_disk = 0.0;
     double sum_disk = 0.0;
-    if (last_disk_busy_.size() != sys_->disks_.size()) {
-      last_disk_busy_.assign(sys_->disks_.size(), 0.0);
-    }
+    // A changed disk count means the farm was rebuilt mid-run; re-seed
+    // the baselines from the new disks' *current* integrals so this
+    // window reports only in-window busy time (a zero baseline would
+    // spike utilization by the disks' entire lifetime integral).
+    disk_windows_.Rebind(sys_->disks_.size(), [&](size_t d) {
+      return sys_->disks_[d]->busy_seconds(now);
+    });
     for (size_t d = 0; d < sys_->disks_.size(); ++d) {
-      double busy = sys_->disks_[d]->busy_seconds(now);
-      double util = (busy - last_disk_busy_[d]) / dt;
+      double util =
+          disk_windows_.Advance(d, sys_->disks_[d]->busy_seconds(now), dt);
       max_disk = std::max(max_disk, util);
       sum_disk += util;
-      last_disk_busy_[d] = busy;
     }
     r.max_disk_utilization = max_disk;
     r.avg_disk_utilization =
@@ -161,7 +171,7 @@ class Rtdbs::ProbeImpl : public core::SystemProbe {
   Rtdbs* sys_;
   SimTime last_time_ = 0.0;
   double last_cpu_busy_ = 0.0;
-  std::vector<double> last_disk_busy_;
+  DiskUtilWindows disk_windows_;
   double last_mpl_integral_ = 0.0;
 };
 
@@ -197,8 +207,8 @@ Status Rtdbs::Init() {
         std::make_unique<model::Disk>(&sim_, config_.disk, d));
   }
 
-  auto db = storage::Database::Create(config_.database, config_.disk,
-                                      &placement_rng);
+  auto db = storage::Database::Create(config_.EffectiveDatabase(),
+                                      config_.disk, &placement_rng);
   RTQ_RETURN_IF_ERROR(db.status().ok() ? Status::Ok() : db.status());
   db_ = std::make_unique<storage::Database>(std::move(db).value());
   {
@@ -214,6 +224,12 @@ Status Rtdbs::Init() {
   mm_ = std::make_unique<core::MemoryManager>(
       config_.memory_pages, std::make_unique<core::MaxStrategy>(),
       [this](QueryId id, PageCount pages) { ApplyAllocation(id, pages); });
+  if (config_.shard.coordinator != nullptr) {
+    // Global admission: this shard's would-be admissions claim slots from
+    // the cluster-wide coordinator before any query exists.
+    mm_->SetAdmissionGate(
+        config_.shard.coordinator->GateFor(config_.shard.index));
+  }
 
   probe_ = std::make_unique<ProbeImpl>(this);
   auto policy =
@@ -257,8 +273,8 @@ StatusOr<workload::Trace> RenderScenarioTrace(const SystemConfig& config,
   Rng master(config.seed);
   Rng placement_rng = master.Fork();
   Rng source_rng = master.Fork();
-  auto db = storage::Database::Create(config.database, config.disk,
-                                      &placement_rng);
+  auto db = storage::Database::Create(config.EffectiveDatabase(),
+                                      config.disk, &placement_rng);
   if (!db.ok()) return db.status();
   Status st = config.workload.Validate(db.value());
   if (!st.ok()) return st;
@@ -277,6 +293,9 @@ core::PolicyHost Rtdbs::MakePolicyHost() {
   host.pmm = config_.pmm;
   host.num_classes = static_cast<int32_t>(config_.workload.classes.size());
   host.tick_interval = config_.mpl_sample_interval;
+  host.shard_index = config_.shard.index;
+  host.num_shards = config_.shard.count;
+  host.coordinator = config_.shard.coordinator;
   return host;
 }
 
@@ -413,6 +432,17 @@ void Rtdbs::PurgeRetired() {
 }
 
 void Rtdbs::OnArrival(const workload::QueryBlueprint& bp, QueryId id) {
+  if (config_.shard.placement != nullptr &&
+      config_.shard.placement->ShardOf(
+          id, bp.r, static_cast<int64_t>(db_->relations().size())) !=
+          config_.shard.index) {
+    // Another shard of the cluster owns this arrival. Every shard
+    // generates the identical stream (same seed, same draws), so dropping
+    // a foreign arrival at the sink *is* the routing step — no query
+    // state, metrics, or policy event is created for it.
+    ++routed_elsewhere_;
+    return;
+  }
   PurgeRetired();
   QueryRuntime* rt = AcquireRuntime();
   workload::BuiltQueryRefs built = workload::BuildQueryInArena(
@@ -600,6 +630,7 @@ void Rtdbs::AppendStateDigest(std::vector<std::string>* out) const {
   const SimTime now = sim_.Now();
   out->push_back("clock " + workload::FormatDouble(now));
   out->push_back("dispatched " + std::to_string(sim_.events_dispatched()));
+  out->push_back("routed " + std::to_string(routed_elsewhere_));
 
   {
     auto pending = sim_.queue().ExportPending();

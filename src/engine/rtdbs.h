@@ -108,6 +108,7 @@ class Rtdbs {
 
   // --- component access (experiments, tests) ----------------------------
   sim::Simulator& simulator() { return sim_; }
+  const sim::Simulator& simulator() const { return sim_; }
   /// The arrival source, whichever kind the config selected (Poisson
   /// Source, ScenarioSource, or TraceSource).
   workload::ArrivalSource& arrivals() { return *source_; }
@@ -147,6 +148,9 @@ class Rtdbs {
   }
   /// Lifetime count of runtime recycles (arena reset + reuse).
   int64_t runtimes_recycled() const { return runtimes_recycled_; }
+  /// Arrivals this engine dropped because the shard placement assigned
+  /// them to another shard (always 0 on a standalone engine).
+  int64_t routed_elsewhere() const { return routed_elsewhere_; }
 
  private:
   class QueryContext;
@@ -224,6 +228,7 @@ class Rtdbs {
   std::vector<std::unique_ptr<QueryRuntime>> runtime_storage_;
   std::vector<QueryRuntime*> free_runtimes_;
   int64_t runtimes_recycled_ = 0;
+  int64_t routed_elsewhere_ = 0;
 
   using RuntimePair = std::pair<const QueryId, QueryRuntime*>;
   using RuntimeMap =

@@ -1,0 +1,167 @@
+#include "engine/sharded_rtdbs.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace rtq::engine {
+
+namespace {
+
+/// Completion-weighted merge of one shard's class summary into the
+/// cluster aggregate.
+void MergeClass(const ClassSummary& in, ClassSummary* out) {
+  const double n0 = static_cast<double>(out->completions);
+  const double n1 = static_cast<double>(in.completions);
+  if (n0 + n1 > 0.0) {
+    out->avg_wait = (out->avg_wait * n0 + in.avg_wait * n1) / (n0 + n1);
+    out->avg_exec = (out->avg_exec * n0 + in.avg_exec * n1) / (n0 + n1);
+    out->avg_response =
+        (out->avg_response * n0 + in.avg_response * n1) / (n0 + n1);
+    out->avg_fluctuations =
+        (out->avg_fluctuations * n0 + in.avg_fluctuations * n1) / (n0 + n1);
+  }
+  out->completions += in.completions;
+  out->misses += in.misses;
+  out->miss_ratio = out->completions > 0
+                        ? static_cast<double>(out->misses) /
+                              static_cast<double>(out->completions)
+                        : 0.0;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ShardedRtdbs>> ShardedRtdbs::Create(
+    const SystemConfig& base, const ShardConfig& shards) {
+  RTQ_RETURN_IF_ERROR(shards.Validate());
+  auto placement =
+      workload::ShardPlacement::Make(shards.placement, shards.num_shards);
+  if (!placement.ok()) return placement.status();
+  auto cap = core::ParseAdmissionSpec(shards.admission);
+  if (!cap.ok()) return cap.status();
+
+  std::unique_ptr<ShardedRtdbs> sys(new ShardedRtdbs());
+  sys->shard_config_ = shards;
+  sys->shard_config_.placement = placement.value().spec();
+  sys->placement_ = std::make_unique<workload::ShardPlacement>(
+      std::move(placement).value());
+  if (cap.value() > 0) {
+    sys->coordinator_ = std::make_unique<core::ShardCoordinator>(
+        shards.num_shards, cap.value());
+  }
+  sys->shards_.reserve(static_cast<size_t>(shards.num_shards));
+  for (int32_t s = 0; s < shards.num_shards; ++s) {
+    SystemConfig cfg = base;
+    cfg.shard.index = s;
+    cfg.shard.count = shards.num_shards;
+    cfg.shard.placement = sys->placement_.get();
+    cfg.shard.coordinator = sys->coordinator_.get();
+    auto shard = Rtdbs::Create(cfg);
+    if (!shard.ok()) return shard.status();
+    sys->shards_.push_back(std::move(shard).value());
+  }
+  return sys;
+}
+
+void ShardedRtdbs::Start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& shard : shards_) shard->Start();
+}
+
+int32_t ShardedRtdbs::NextShard(SimTime horizon) const {
+  int32_t best = -1;
+  SimTime best_time = 0.0;
+  for (int32_t s = 0; s < num_shards(); ++s) {
+    const sim::EventQueue& q =
+        shards_[static_cast<size_t>(s)]->simulator().queue();
+    if (q.Empty()) continue;
+    SimTime t = q.PeekTime();
+    if (t > horizon) continue;
+    if (best < 0 || t < best_time) {
+      best = s;
+      best_time = t;
+    }
+  }
+  return best;
+}
+
+void ShardedRtdbs::RunUntil(SimTime until) {
+  Start();
+  for (;;) {
+    int32_t s = NextShard(until);
+    if (s < 0) break;
+    shards_[static_cast<size_t>(s)]->StepEvent();
+  }
+  // Every pending event now lies beyond the horizon; align each shard's
+  // clock to it, exactly as Rtdbs::RunUntil does for a lone engine.
+  for (auto& shard : shards_) shard->RunUntil(until);
+}
+
+bool ShardedRtdbs::StepEvent() {
+  Start();
+  int32_t s = NextShard(std::numeric_limits<SimTime>::infinity());
+  if (s < 0) return false;
+  return shards_[static_cast<size_t>(s)]->StepEvent();
+}
+
+SimTime ShardedRtdbs::Now() const {
+  SimTime now = 0.0;
+  for (const auto& shard : shards_) {
+    now = std::max(now, shard->simulator().Now());
+  }
+  return now;
+}
+
+uint64_t ShardedRtdbs::events_dispatched() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->simulator().events_dispatched();
+  }
+  return total;
+}
+
+SystemSummary ShardedRtdbs::Summarize() const {
+  SystemSummary agg;
+  size_t classes = 0;
+  double cpu_sum = 0.0;
+  double disk_sum = 0.0;
+  for (const auto& shard : shards_) {
+    SystemSummary s = shard->Summarize();
+    classes = std::max(classes, s.per_class.size());
+    agg.per_class.resize(classes);
+    MergeClass(s.overall, &agg.overall);
+    for (size_t c = 0; c < s.per_class.size(); ++c) {
+      MergeClass(s.per_class[c], &agg.per_class[c]);
+    }
+    // Summed, not averaged: the cluster's multiprogramming level is the
+    // total number of queries in flight across all shards.
+    agg.avg_mpl += s.avg_mpl;
+    cpu_sum += s.cpu_utilization;
+    disk_sum += s.avg_disk_utilization;
+    agg.max_disk_utilization =
+        std::max(agg.max_disk_utilization, s.max_disk_utilization);
+    agg.events_dispatched += s.events_dispatched;
+    agg.simulated_time = std::max(agg.simulated_time, s.simulated_time);
+  }
+  const double n = static_cast<double>(num_shards());
+  agg.cpu_utilization = cpu_sum / n;
+  agg.avg_disk_utilization = disk_sum / n;
+  return agg;
+}
+
+SystemSummary ShardedRtdbs::SummarizeShard(int32_t s) const {
+  RTQ_CHECK_MSG(s >= 0 && s < num_shards(), "bad shard index");
+  return shards_[static_cast<size_t>(s)]->Summarize();
+}
+
+void ShardedRtdbs::AppendStateDigest(std::vector<std::string>* out) const {
+  for (int32_t s = 0; s < num_shards(); ++s) {
+    out->push_back("shard " + std::to_string(s));
+    shards_[static_cast<size_t>(s)]->AppendStateDigest(out);
+  }
+}
+
+}  // namespace rtq::engine

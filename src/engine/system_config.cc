@@ -1,8 +1,30 @@
 #include "engine/system_config.h"
 
 #include "core/policy_registry.h"
+#include "core/shard_coordinator.h"
+#include "workload/placement.h"
 
 namespace rtq::engine {
+
+Status ShardConfig::Validate() const {
+  if (num_shards < 1)
+    return Status::InvalidArgument("num_shards must be >= 1");
+  {
+    auto p = workload::ShardPlacement::Make(placement, num_shards);
+    if (!p.ok()) return p.status();
+  }
+  {
+    auto a = core::ParseAdmissionSpec(admission);
+    if (!a.ok()) return a.status();
+  }
+  return Status::Ok();
+}
+
+storage::DatabaseSpec SystemConfig::EffectiveDatabase() const {
+  storage::DatabaseSpec spec = database;
+  if (spec.num_disks == 0) spec.num_disks = num_disks;
+  return spec;
+}
 
 const char* PolicyKindName(PolicyKind kind) {
   switch (kind) {
@@ -54,9 +76,19 @@ Status SystemConfig::Validate() const {
   RTQ_RETURN_IF_ERROR(disk.Validate());
   RTQ_RETURN_IF_ERROR(exec.Validate());
   RTQ_RETURN_IF_ERROR(pmm.Validate());
+  if (database.num_disks != 0 && database.num_disks != num_disks) {
+    // Caught here instead of by the disk-submit hot-path assert (which a
+    // release build skips): the engine builds `num_disks` elevators while
+    // the layout spans `database.num_disks`.
+    return Status::InvalidArgument(
+        "database.num_disks (" + std::to_string(database.num_disks) +
+        ") does not match num_disks (" + std::to_string(num_disks) +
+        "); leave database.num_disks at 0 to derive it from num_disks");
+  }
   {
-    // Database/workload validation needs the spec cross-checks.
-    Status s = database.Validate(disk);
+    // Database/workload validation needs the spec cross-checks, run
+    // against the resolved layout (0 = inherit num_disks).
+    Status s = EffectiveDatabase().Validate(disk);
     if (!s.ok()) return s;
   }
   if (trace != nullptr && scenario.enabled())

@@ -22,6 +22,13 @@
 #include "workload/trace.h"
 #include "workload/workload_spec.h"
 
+namespace rtq::core {
+class ShardCoordinator;
+}  // namespace rtq::core
+namespace rtq::workload {
+class ShardPlacement;
+}  // namespace rtq::workload
+
 namespace rtq::engine {
 
 /// DEPRECATED closed policy enumeration. The policy surface is open now:
@@ -71,6 +78,41 @@ struct PolicyConfig {
   std::vector<double> fair_weights;
 };
 
+/// Sharded-deployment shape consumed by engine::ShardedRtdbs: how many
+/// independent Rtdbs shards to build, how arrivals decluster across them,
+/// and whether admission is coordinated globally. Plain Rtdbs ignores it.
+struct ShardConfig {
+  int32_t num_shards = 1;
+  /// Placement spec routing each arrival to exactly one shard:
+  ///   "hash"         query-id hash, uniform load balancing
+  ///   "range"        contiguous relation-id ranges (data declustering)
+  ///   "skew[:hot=F]" fraction F of arrivals pinned to shard 0 (default 0.5)
+  std::string placement = "hash";
+  /// Admission spec: "local" (each shard runs its policy's own MPL) or
+  /// "global:mpl=N" (a cross-shard coordinator caps total admitted
+  /// queries at N; see core::ShardCoordinator).
+  std::string admission = "local";
+
+  Status Validate() const;
+  bool sharded() const { return num_shards > 1; }
+};
+
+/// Identity stamped on a shard's SystemConfig by engine::ShardedRtdbs so
+/// the embedded engine knows which slice of the arrival stream is its own
+/// and (under global admission) which coordinator to consult. Plain
+/// single-engine systems leave this at its defaults: index 0 of 1,
+/// accept-everything, no coordinator.
+struct ShardIdentity {
+  int32_t index = 0;
+  int32_t count = 1;
+  /// Non-null on shards of a sharded system: arrivals whose placement
+  /// shard differs from `index` are counted and dropped at the sink (the
+  /// stream itself is generated identically on every shard). Not owned.
+  const workload::ShardPlacement* placement = nullptr;
+  /// Non-null only under admission="global:mpl=N". Not owned.
+  core::ShardCoordinator* coordinator = nullptr;
+};
+
 struct SystemConfig {
   /// CPU MIPS rating (Table 3: 40 MIPS).
   double mips = 40.0;
@@ -97,6 +139,14 @@ struct SystemConfig {
   SimTime mpl_sample_interval = 60.0;
   /// Batch size for the miss-ratio batch-means confidence interval.
   int64_t miss_ci_batch = 200;
+  /// Shard identity within a ShardedRtdbs (defaults = standalone engine).
+  ShardIdentity shard;
+
+  /// The database layout spec with `num_disks` resolved: a spec left at
+  /// the 0 sentinel inherits this config's `num_disks`, so the layout and
+  /// the engine's disk farm cannot drift apart. Validate() rejects an
+  /// explicit non-zero mismatch.
+  storage::DatabaseSpec EffectiveDatabase() const;
 
   Status Validate() const;
 };

@@ -28,7 +28,8 @@ void MetricsStreamer::Emit(engine::Rtdbs& sys, double wall_seconds) {
   core::MemoryManager& mm = sys.memory_manager();
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").String("rtq-serve-metrics-2");
+  w.Key("schema").String("rtq-serve-metrics-3");
+  if (shard_ >= 0) w.Key("shard").Int(shard_);
   w.Key("t").Number(sys.simulator().Now());
   w.Key("events").Int(static_cast<int64_t>(events));
   w.Key("pending").Int(static_cast<int64_t>(sys.simulator().pending_events()));
@@ -49,6 +50,7 @@ void MetricsStreamer::Emit(engine::Rtdbs& sys, double wall_seconds) {
                   : 0.0);
   w.Key("d_completed").Int(d_completed);
   w.Key("d_missed").Int(d_missed);
+  if (shard_ >= 0) w.Key("routed_elsewhere").Int(sys.routed_elsewhere());
   w.Key("allocated_pages").Int(mm.allocated_pages());
   w.Key("policy").String(sys.policy().Describe());
   w.Key("wall_seconds").Number(wall_seconds);

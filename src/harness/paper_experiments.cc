@@ -106,7 +106,6 @@ engine::SystemConfig BaselineConfig(double arrival_rate,
                                     uint64_t seed) {
   engine::SystemConfig config = CommonConfig(policy, seed);
   config.num_disks = 10;
-  config.database.num_disks = 10;
   AddBaselineGroups(&config);
   config.workload.classes = {JoinClass(0, 1, arrival_rate)};
   return config;
@@ -116,7 +115,6 @@ engine::SystemConfig DiskContentionConfig(
     double arrival_rate, const engine::PolicyConfig& policy, uint64_t seed) {
   engine::SystemConfig config = BaselineConfig(arrival_rate, policy, seed);
   config.num_disks = 6;
-  config.database.num_disks = 6;
   return config;
 }
 
@@ -125,7 +123,6 @@ engine::SystemConfig WorkloadChangeConfig(const engine::PolicyConfig& policy,
                                           bool small_active, uint64_t seed) {
   engine::SystemConfig config = CommonConfig(policy, seed);
   config.num_disks = 6;
-  config.database.num_disks = 6;
   AddBaselineGroups(&config);  // groups 0, 1 (Medium)
   AddSmallGroups(&config);     // groups 2, 3 (Small)
 
@@ -154,7 +151,6 @@ engine::SystemConfig ExternalSortConfig(double arrival_rate,
                                         uint64_t seed) {
   engine::SystemConfig config = CommonConfig(policy, seed);
   config.num_disks = 10;
-  config.database.num_disks = 10;
   AddBaselineGroups(&config);
 
   workload::QueryClassSpec sort;
@@ -172,7 +168,6 @@ engine::SystemConfig MulticlassConfig(double small_rate,
                                       uint64_t seed) {
   engine::SystemConfig config = CommonConfig(policy, seed);
   config.num_disks = 12;
-  config.database.num_disks = 12;
   AddBaselineGroups(&config);
   AddSmallGroups(&config);
   workload::QueryClassSpec medium = JoinClass(0, 1, 0.065);
@@ -189,7 +184,6 @@ engine::SystemConfig ScaledConfig(double arrival_rate,
   RTQ_CHECK_MSG(scale >= 1.0, "scale must be >= 1");
   engine::SystemConfig config = CommonConfig(policy, seed);
   config.num_disks = 6;
-  config.database.num_disks = 6;
 
   // Memory and relation sizes scale up; arrival rate scales down so the
   // offered utilizations stay comparable (Section 5.7).

@@ -1,4 +1,7 @@
-// A single disk with Earliest-Deadline queueing (paper Section 4.2).
+// One disk of the engine's N-disk farm, with Earliest-Deadline queueing
+// (paper Section 4.2). The engine builds SystemConfig::num_disks of
+// these (Table 3 default: 10), each running its own independent elevator
+// over its own queue; the database layout stripes relations across them.
 //
 // "Every disk manages its own queue by the ED policy; any disk requests
 // that ED assigns the same priority to are serviced according to the

@@ -26,6 +26,7 @@
 
 #include "common/status.h"
 #include "engine/rtdbs.h"
+#include "engine/sharded_rtdbs.h"
 #include "serve/snapshot.h"
 
 namespace rtq::serve {
@@ -60,10 +61,25 @@ class ServeSession {
   StatusOr<std::string> ApplyScenario(const std::string& spec);
 
   /// Captures {genesis, journal, position, state digest} at this instant.
-  Snapshot TakeSnapshot();
+  /// Sharded sessions return Unimplemented: the `.rtqs` grammar has no
+  /// shard fields yet, so there is nothing a restore could verify.
+  StatusOr<Snapshot> TakeSnapshot();
 
-  uint64_t events() { return sys_->simulator().events_dispatched(); }
-  engine::Rtdbs& system() { return *sys_; }
+  uint64_t events() {
+    return sharded() ? cluster_->events_dispatched()
+                     : sys_->simulator().events_dispatched();
+  }
+  /// True when the genesis asked for shards > 1; `system()` is then
+  /// invalid and `cluster()` is the engine.
+  bool sharded() const { return cluster_ != nullptr; }
+  engine::Rtdbs& system() {
+    RTQ_CHECK_MSG(!sharded(), "system(): session is sharded, use cluster()");
+    return *sys_;
+  }
+  engine::ShardedRtdbs& cluster() {
+    RTQ_CHECK_MSG(sharded(), "cluster(): session is unsharded, use system()");
+    return *cluster_;
+  }
   const SessionSpec& session_spec() const { return spec_; }
   const std::vector<JournalEntry>& journal() const { return journal_; }
 
@@ -76,13 +92,17 @@ class ServeSession {
  private:
   ServeSession(SessionSpec spec, std::unique_ptr<engine::Rtdbs> sys)
       : spec_(std::move(spec)), sys_(std::move(sys)) {}
+  ServeSession(SessionSpec spec, std::unique_ptr<engine::ShardedRtdbs> cluster)
+      : spec_(std::move(spec)), cluster_(std::move(cluster)) {}
 
   /// Steps until `target` events have dispatched; Internal error if the
   /// calendar drains first (the snapshot position is unreachable).
   Status StepTo(uint64_t target);
 
   SessionSpec spec_;
+  /// Exactly one of the two engines is set (sys_ unless spec_.shards > 1).
   std::unique_ptr<engine::Rtdbs> sys_;
+  std::unique_ptr<engine::ShardedRtdbs> cluster_;
   std::vector<JournalEntry> journal_;
 };
 

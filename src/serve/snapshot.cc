@@ -104,7 +104,9 @@ class LineReader {
 }  // namespace
 
 bool operator==(const SessionSpec& a, const SessionSpec& b) {
-  return a.workload == b.workload && a.policy == b.policy && a.seed == b.seed;
+  return a.workload == b.workload && a.policy == b.policy &&
+         a.seed == b.seed && a.shards == b.shards &&
+         a.placement == b.placement && a.admission == b.admission;
 }
 bool operator!=(const SessionSpec& a, const SessionSpec& b) {
   return !(a == b);

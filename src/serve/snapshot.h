@@ -55,6 +55,13 @@ struct SessionSpec {
   std::string workload = "baseline:rate=0.06";
   std::string policy = "pmm";
   uint64_t seed = 42;
+  /// Sharded serving (engine::ShardedRtdbs) when shards > 1. Sharded
+  /// sessions run, stream metrics, and accept live reconfig, but do not
+  /// snapshot yet — TakeSnapshot returns Unimplemented, and the `.rtqs`
+  /// grammar deliberately has no shard fields until they do.
+  int32_t shards = 1;
+  std::string placement = "hash";
+  std::string admission = "local";
 };
 
 /// One state-mutating control command, recorded at the event count it

@@ -32,7 +32,12 @@ struct RelationGroupSpec {
 
 struct DatabaseSpec {
   std::vector<RelationGroupSpec> groups;
-  int32_t num_disks = 1;
+  /// Disks the layout spans. 0 (the default) means "derive from the
+  /// embedding SystemConfig::num_disks" — see
+  /// engine::SystemConfig::EffectiveDatabase(). Standalone
+  /// Database::Create callers must set an explicit positive count;
+  /// Validate rejects 0.
+  int32_t num_disks = 0;
 
   Status Validate(const model::DiskParams& disk) const;
 };

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/rtdbs.h"
+#include "engine/sharded_rtdbs.h"
 #include "harness/paper_experiments.h"
 
 namespace rtq::engine {
@@ -89,6 +90,50 @@ TEST(GoldenTrajectory, ScenarioRunsMatchRecordedConstants) {
     SystemConfig config = harness::ScenarioConfig(g.scenario, {g.policy}, 42);
     auto sys = Rtdbs::Create(config);
     ASSERT_TRUE(sys.ok());
+    sys.value()->RunUntil(1800.0);
+    SystemSummary s = sys.value()->Summarize();
+    EXPECT_EQ(s.overall.completions, g.completions);
+    EXPECT_EQ(s.overall.misses, g.misses);
+    EXPECT_EQ(s.events_dispatched, g.events);
+  }
+}
+
+// Sharded-cluster rows (PR 10). shards=1/hash must reproduce the plain
+// "pmm" baseline row above exactly — that pin is the bit-identity
+// guarantee of filtered replication. The multi-shard rows pin the merged
+// event loop, the placement functions, and the global-MPL coordinator.
+struct ShardedGolden {
+  const char* policy;
+  int32_t shards;
+  const char* placement;
+  const char* admission;
+  int64_t completions;
+  int64_t misses;
+  uint64_t events;
+};
+
+// Recorded at seed 42 when sharding landed (BaselineConfig(0.06),
+// horizon 1800 s). Note the events of the 1-shard row equal the plain
+// pmm baseline row's.
+constexpr ShardedGolden kShardedGolden[] = {
+    {"pmm", 1, "hash", "local", 91, 5, 522220},
+    {"pmm", 2, "hash", "local", 94, 0, 345793},
+    {"pmm", 4, "skew:hot=0.6", "local", 90, 0, 334250},
+    {"max", 2, "range", "global:mpl=4", 93, 0, 340245},
+};
+
+TEST(GoldenTrajectory, ShardedRunsMatchRecordedConstants) {
+  for (const ShardedGolden& g : kShardedGolden) {
+    SCOPED_TRACE(std::string(g.policy) + " | shards=" +
+                 std::to_string(g.shards) + " | " + g.placement + " | " +
+                 g.admission);
+    SystemConfig config = harness::BaselineConfig(0.06, {g.policy}, 42);
+    ShardConfig shards;
+    shards.num_shards = g.shards;
+    shards.placement = g.placement;
+    shards.admission = g.admission;
+    auto sys = ShardedRtdbs::Create(config, shards);
+    ASSERT_TRUE(sys.ok()) << sys.status().ToString();
     sys.value()->RunUntil(1800.0);
     SystemSummary s = sys.value()->Summarize();
     EXPECT_EQ(s.overall.completions, g.completions);

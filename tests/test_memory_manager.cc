@@ -139,5 +139,88 @@ TEST(MemoryManager, DeadlineTiesBreakByQueryId) {
   EXPECT_EQ(rec.allocations[7], 100);
 }
 
+/// Counting admission gate with a fixed slot capacity (the unit-test
+/// stand-in for one shard's view of a core::ShardCoordinator).
+struct SlotGate final : AdmissionGate {
+  explicit SlotGate(int64_t cap) : capacity(cap) {}
+  bool TryAcquire() override {
+    if (in_use >= capacity) {
+      ++refused;
+      return false;
+    }
+    ++in_use;
+    return true;
+  }
+  void Release() override {
+    ASSERT_GT(in_use, 0);
+    --in_use;
+  }
+  int64_t capacity;
+  int64_t in_use = 0;
+  int64_t refused = 0;
+};
+
+TEST(MemoryManager, GateRefusalVetoesAdmission) {
+  Recorder rec;
+  SlotGate gate(0);  // the cluster is full: nobody may be admitted
+  MemoryManager mm(1000, std::make_unique<MaxStrategy>(), rec.fn());
+  mm.SetAdmissionGate(&gate);
+  mm.AddQuery(Q(1, 10.0, 40, 600));
+  EXPECT_EQ(mm.admitted_count(), 0);
+  EXPECT_EQ(mm.waiting_count(), 1);
+  EXPECT_EQ(mm.allocation_of(1), 0);
+  EXPECT_GT(gate.refused, 0);
+}
+
+TEST(MemoryManager, GateSlotIsHeldUntilRemovalThenReclaimed) {
+  Recorder rec;
+  SlotGate gate(1);
+  MemoryManager mm(1000, std::make_unique<MaxStrategy>(false), rec.fn());
+  mm.SetAdmissionGate(&gate);
+  // Memory could hold both (min 40 each), but the gate caps MPL at 1.
+  mm.AddQuery(Q(1, 10.0, 40, 400));
+  mm.AddQuery(Q(2, 20.0, 40, 400));
+  EXPECT_EQ(mm.admitted_count(), 1);
+  EXPECT_EQ(mm.allocation_of(1), 400);
+  EXPECT_EQ(mm.allocation_of(2), 0);
+  EXPECT_EQ(gate.in_use, 1);
+  // Removing the holder releases the slot; the waiter claims it on the
+  // removal's reallocation pass.
+  mm.RemoveQuery(1);
+  EXPECT_EQ(mm.admitted_count(), 1);
+  EXPECT_EQ(mm.allocation_of(2), 400);
+  EXPECT_EQ(gate.in_use, 1);
+  mm.RemoveQuery(2);
+  EXPECT_EQ(gate.in_use, 0);
+}
+
+TEST(MemoryManager, GateAcquiresInDeadlineOrder) {
+  Recorder rec;
+  SlotGate gate(1);
+  MemoryManager mm(1000, std::make_unique<MinMaxStrategy>(-1), rec.fn());
+  mm.SetAdmissionGate(&gate);
+  // Two queries wait behind a full gate; when the slot frees, the one
+  // with the earlier deadline must claim it — even though it arrived
+  // later.
+  mm.AddQuery(Q(1, 10.0, 40, 400));
+  mm.AddQuery(Q(2, 90.0, 40, 400));
+  mm.AddQuery(Q(3, 50.0, 40, 400));
+  EXPECT_EQ(mm.admitted_count(), 1);
+  EXPECT_EQ(mm.allocation_of(2), 0);
+  EXPECT_EQ(mm.allocation_of(3), 0);
+  mm.RemoveQuery(1);
+  EXPECT_EQ(mm.admitted_count(), 1);
+  EXPECT_EQ(mm.allocation_of(3), 400) << "earliest deadline takes the slot";
+  EXPECT_EQ(mm.allocation_of(2), 0);
+}
+
+TEST(MemoryManager, GateMustBeInstalledBeforeFirstQuery) {
+  Recorder rec;
+  SlotGate gate(1);
+  MemoryManager mm(1000, std::make_unique<MaxStrategy>(), rec.fn());
+  mm.AddQuery(Q(1, 10.0, 40, 100));
+  EXPECT_DEATH(mm.SetAdmissionGate(&gate), "empty manager");
+}
+
 }  // namespace
 }  // namespace rtq::core

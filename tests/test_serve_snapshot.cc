@@ -154,8 +154,9 @@ void ExpectZeroDriftRestore(const SessionSpec& spec, uint64_t before,
   ASSERT_TRUE(original.ok()) << original.status().ToString();
   ASSERT_EQ(original.value()->RunEvents(before), before);
 
-  auto snapshot =
-      ParseSnapshot(SerializeSnapshot(original.value()->TakeSnapshot()));
+  auto taken = original.value()->TakeSnapshot();
+  ASSERT_TRUE(taken.ok()) << taken.status().ToString();
+  auto snapshot = ParseSnapshot(SerializeSnapshot(taken.value()));
   ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
 
   ASSERT_EQ(original.value()->RunEvents(after), after);
@@ -223,7 +224,9 @@ TEST(SnapshotProperty, JournaledSwapsRestoreWithZeroDrift) {
   ASSERT_TRUE(swap2.ok()) << swap2.status().ToString();
   ASSERT_EQ(s.RunEvents(1000), 1000u);
 
-  auto snapshot = ParseSnapshot(SerializeSnapshot(s.TakeSnapshot()));
+  auto taken = s.TakeSnapshot();
+  ASSERT_TRUE(taken.ok()) << taken.status().ToString();
+  auto snapshot = ParseSnapshot(SerializeSnapshot(taken.value()));
   ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
   ASSERT_EQ(snapshot.value().journal.size(), 2u);
 
@@ -248,7 +251,7 @@ TEST(SnapshotProperty, TamperedDigestFailsRestore) {
   auto session = ServeSession::Create(SessionSpec{});
   ASSERT_TRUE(session.ok());
   ASSERT_EQ(session.value()->RunEvents(2000), 2000u);
-  Snapshot snap = session.value()->TakeSnapshot();
+  Snapshot snap = session.value()->TakeSnapshot().value();
   ASSERT_FALSE(snap.digest.empty());
   snap.digest[0] = "clock 999999";
 
@@ -266,7 +269,7 @@ TEST(SnapshotProperty, UnreplayableJournalFailsRestore) {
   auto session = ServeSession::Create(SessionSpec{});
   ASSERT_TRUE(session.ok());
   ASSERT_EQ(session.value()->RunEvents(2000), 2000u);
-  Snapshot snap = session.value()->TakeSnapshot();
+  Snapshot snap = session.value()->TakeSnapshot().value();
   snap.journal.push_back(JournalEntry{1000, "scenario", "flash:mult=6"});
   // Keep the grammar valid: entries must be non-decreasing and within
   // the position, which 1000 <= 2000 satisfies.
@@ -275,6 +278,58 @@ TEST(SnapshotProperty, UnreplayableJournalFailsRestore) {
   EXPECT_NE(restored.status().message().find("journal replay"),
             std::string::npos)
       << restored.status().message();
+}
+
+// --- sharded sessions --------------------------------------------------
+
+TEST(ShardedServe, RunsAndAppliesPolicySwapsClusterWide) {
+  SessionSpec spec;
+  spec.workload = "baseline:rate=0.12";
+  spec.policy = "pmm";
+  spec.shards = 4;
+  spec.placement = "skew:hot=0.6";
+  auto session = ServeSession::Create(spec);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  ASSERT_TRUE(session.value()->sharded());
+  EXPECT_EQ(session.value()->cluster().num_shards(), 4);
+
+  ASSERT_EQ(session.value()->RunEvents(20000), 20000u);
+  EXPECT_EQ(session.value()->events(), 20000u);
+
+  auto swap = session.value()->ApplyPolicy("max");
+  ASSERT_TRUE(swap.status.ok()) << swap.status.ToString();
+  for (int32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(session.value()->cluster().shard(s).policy().Describe(), "max");
+  }
+  // A rejected spec leaves every shard on the incumbent policy.
+  auto bad = session.value()->ApplyPolicy("no-such-policy");
+  EXPECT_FALSE(bad.status.ok());
+  for (int32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(session.value()->cluster().shard(s).policy().Describe(), "max");
+  }
+}
+
+TEST(ShardedServe, SnapshotIsUnimplemented) {
+  SessionSpec spec;
+  spec.shards = 2;
+  auto session = ServeSession::Create(spec);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  ASSERT_EQ(session.value()->RunEvents(2000), 2000u);
+  auto snap = session.value()->TakeSnapshot();
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), StatusCode::kUnimplemented);
+  EXPECT_NE(snap.status().message().find("sharded"), std::string::npos)
+      << snap.status().message();
+}
+
+TEST(ShardedServe, RejectsBadShardSpecs) {
+  SessionSpec spec;
+  spec.shards = 2;
+  spec.placement = "roundrobin";
+  EXPECT_FALSE(ServeSession::Create(spec).ok());
+  spec.placement = "hash";
+  spec.admission = "global";
+  EXPECT_FALSE(ServeSession::Create(spec).ok());
 }
 
 }  // namespace
